@@ -1,0 +1,48 @@
+// Ablation — Atlas table size. The paper's baseline uses an 8-entry
+// direct-mapped table; this sweep shows why no fixed table size matches the
+// adaptive cache: bigger tables help conflict-heavy workloads but never
+// reach SC's fully-associative LRU behavior at the knee size.
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace nvc;
+  using namespace nvc::bench;
+  print_banner("Ablation: Atlas direct-mapped table size",
+               "Section II-A — Atlas is 'a direct-mapped, fixed size "
+               "cache'; SC replaces it with adaptive fully-assoc LRU");
+
+  const auto params = params_from_env(1);
+  TablePrinter table({"Workload", "AT-4", "AT-8", "AT-8x2", "AT-8x8",
+                      "AT-16", "AT-64", "AT-256", "SC@knee"});
+  for (const char* name :
+       {"barnes", "ocean", "water-nsquared", "water-spatial", "hash"}) {
+    const auto traces = record_trace(name, params);
+    const auto knee = offline_knee(traces);
+    std::vector<std::string> row{name};
+    // (table entries, ways): AT-8x2 keeps the 8-entry budget but makes it
+    // 2-way; AT-8x8 is the fully associative 8-entry table — the gap to
+    // AT-8 isolates conflict misses from capacity misses.
+    const std::pair<std::size_t, std::size_t> variants[] = {
+        {4, 1}, {8, 1}, {8, 2}, {8, 8}, {16, 1}, {64, 1}, {256, 1}};
+    for (const auto& [size, ways] : variants) {
+      core::PolicyConfig config;
+      config.atlas_table_size = size;
+      config.atlas_associativity = ways;
+      const auto at = workloads::replay_flush_count_all(
+          traces, core::PolicyKind::kAtlas, config);
+      row.push_back(TablePrinter::fmt(at.flush_ratio(), 5));
+    }
+    core::PolicyConfig sc_config;
+    sc_config.cache_size = knee.chosen_size;
+    const auto sc = workloads::replay_flush_count_all(
+        traces, core::PolicyKind::kSoftCacheOffline, sc_config);
+    row.push_back(TablePrinter::fmt(sc.flush_ratio(), 5));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nAT-8x8 vs AT-8 isolates the conflict-miss share of Atlas' "
+              "table; SC@knee additionally fixes capacity by adapting.\n");
+  return 0;
+}

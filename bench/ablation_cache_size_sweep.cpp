@@ -1,0 +1,34 @@
+// Ablation — software cache size sweep. For water-spatial, sweep the
+// SC-offline size from 1 to 50 and report both the flush ratio and the
+// simulated cycle cost. The cycle curve is the reason the paper bounds the
+// size and picks a knee rather than the maximum: beyond the knee, extra
+// capacity stops removing flushes but keeps adding FASE-end drain latency
+// and per-op overhead.
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace nvc;
+  using namespace nvc::bench;
+  print_banner("Ablation: cache-size sweep on water-spatial",
+               "Fig. 2 + Section III-C — knees in the flush-ratio curve; "
+               "diminishing returns beyond the selected size");
+
+  const auto traces = record_trace("water-spatial", params_from_env(1));
+  const auto knee = offline_knee(traces);
+
+  std::printf("# size  flush_ratio  sim_Mcycles\n");
+  for (std::size_t size = 1; size <= 50; ++size) {
+    core::PolicyConfig config;
+    config.cache_size = size;
+    const auto counts = workloads::replay_flush_count_all(
+        traces, core::PolicyKind::kSoftCacheOffline, config);
+    auto sim = sim_config_for_threads(1, config);
+    const double cycles = workloads::simulate_run(
+        traces, core::PolicyKind::kSoftCacheOffline, sim).makespan_cycles();
+    std::printf("%3zu  %9.6f  %10.3f%s\n", size, counts.flush_ratio(),
+                cycles / 1e6, size == knee.chosen_size ? "   <- selected" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <unistd.h>
+
+namespace nvc::bench {
+
+std::vector<std::string> all_workloads() {
+  auto names = workloads::workload_names();
+  names.push_back("mdb");
+  return names;
+}
+
+std::vector<std::string> splash_workloads() {
+  return {"barnes",  "fmm",           "ocean",        "raytrace",
+          "volrend", "water-nsquared", "water-spatial"};
+}
+
+std::unique_ptr<workloads::Workload> make_any_workload(
+    const std::string& name) {
+  if (name == "mdb") {
+    mdb::MtestConfig config;
+    config.inserts_quick =
+        static_cast<std::uint64_t>(env_int("NVC_MDB_INSERTS", 20000));
+    // Full scale is capped below the paper's 1M by default: recording the
+    // Mtest trace at 1M inserts needs ~10 GB of event memory. Live-only
+    // runs can raise it (NVC_MDB_INSERTS_FULL=1000000).
+    config.inserts_full = static_cast<std::uint64_t>(
+        env_int("NVC_MDB_INSERTS_FULL", 200000));
+    return mdb::make_mdb_workload(config);
+  }
+  return workloads::make_workload(name);
+}
+
+workloads::WorkloadParams params_from_env(std::size_t threads) {
+  workloads::WorkloadParams p;
+  p.threads = threads;
+  p.seed = static_cast<std::uint64_t>(env_int("NVC_SEED", 42));
+  p.full = full_scale();
+  return p;
+}
+
+workloads::TraceApi record_trace(const std::string& name,
+                                 const workloads::WorkloadParams& params) {
+  const std::size_t arena_mb =
+      static_cast<std::size_t>(env_int("NVC_ARENA_MB", 512));
+  workloads::TraceApi api(params.threads, arena_mb << 20);
+  make_any_workload(name)->run(api, params);
+  return api;
+}
+
+core::KneeResult offline_knee(const workloads::TraceApi& traces,
+                              core::Mrc* mrc_out) {
+  std::vector<LineAddr> stores;
+  std::vector<std::size_t> boundaries;
+  traces.trace(0).store_trace(&stores, &boundaries);
+  return core::BurstSampler::analyze_offline(stores, boundaries,
+                                             core::KneeConfig{}, mrc_out);
+}
+
+core::PolicyConfig default_policy_config() {
+  core::PolicyConfig config;
+  config.atlas_table_size = 8;
+  config.cache_size = core::WriteCache::kDefaultCapacity;
+  // The paper's burst is 64M writes on multi-billion-write runs (~1%); the
+  // scaled defaults keep the same burst:execution proportion.
+  config.sampler.burst_length =
+      static_cast<std::uint64_t>(env_int("NVC_BURST", full_scale()
+                                                          ? (1 << 16)
+                                                          : (1 << 12)));
+  // Skip the initialization FASE before the burst (calibration choice
+  // documented in EXPERIMENTS.md; NVC_SKIP_FASES=0 restores the paper's
+  // sample-from-the-start behavior).
+  config.sampler.skip_fases =
+      static_cast<std::uint32_t>(env_int("NVC_SKIP_FASES", 1));
+  return config;
+}
+
+LiveResult run_live(const std::string& workload, core::PolicyKind kind,
+                    const workloads::WorkloadParams& params,
+                    const core::PolicyConfig& policy_config) {
+  static int run_counter = 0;
+  runtime::RuntimeConfig config;
+  config.region_name = "bench." + std::to_string(::getpid()) + "." +
+                       std::to_string(run_counter++);
+  config.region_size =
+      static_cast<std::size_t>(env_int("NVC_REGION_MB", 512)) << 20;
+  config.policy = kind;
+  config.policy_config = policy_config;
+  // Default: the simulated backend at a paper-era clflush-to-memory cost.
+  // Modern cores retire clflush in tens of ns, which erases the flush-cost
+  // premium the paper measures on its 2.8 GHz Xeon E7 (see DESIGN.md);
+  // NVC_FLUSH=clflush|clflushopt|clwb selects the real instructions.
+  config.flush =
+      pmem::parse_flush_kind(env_str("NVC_FLUSH", "sim").c_str());
+  config.simulated_flush_ns =
+      static_cast<std::uint32_t>(env_int("NVC_FLUSH_NS", 250));
+
+  runtime::Runtime rt(config);
+  workloads::RuntimeApi api(rt);
+  auto w = make_any_workload(workload);
+
+  Stopwatch timer;
+  w->run(api, params);
+  LiveResult result;
+  result.seconds = timer.seconds();
+  result.stats = rt.stats();
+  rt.destroy_storage();
+  return result;
+}
+
+LiveResult run_live_repeated(const std::string& workload,
+                             core::PolicyKind kind,
+                             const workloads::WorkloadParams& params,
+                             const core::PolicyConfig& policy_config,
+                             int repeats) {
+  LiveResult best;
+  best.seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    LiveResult one = run_live(workload, kind, params, policy_config);
+    if (one.seconds < best.seconds) best = std::move(one);
+  }
+  return best;
+}
+
+workloads::SimConfig sim_config_for_threads(std::size_t threads,
+                                            const core::PolicyConfig& pc) {
+  workloads::SimConfig sim;
+  sim.policy = pc;
+  // Strong scaling: each thread observes ~1/t of the total writes, so its
+  // sampling burst shrinks accordingly (the paper's burst is likewise a
+  // fixed small fraction of the per-thread write stream).
+  sim.policy.sampler.burst_length = std::max<std::uint64_t>(
+      512, pc.sampler.burst_length / threads);
+  sim.l1.contention_prob = hwsim::contention_for_threads(threads);
+  return sim;
+}
+
+void print_banner(const std::string& experiment,
+                  const std::string& paper_ref) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_ref.c_str());
+  std::printf("mode: %s | flush backend: %s | seed %lld\n\n",
+              full_scale() ? "FULL (paper-scale)" : "quick (NVC_FULL=1 for paper-scale)",
+              env_str("NVC_FLUSH", "sim").c_str(),
+              static_cast<long long>(env_int("NVC_SEED", 42)));
+}
+
+}  // namespace nvc::bench

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark): hot-path costs of the building
+// blocks — software-cache operations, the linear-time reuse analysis, FASE
+// renaming, Mattson stack distances, and the flush instructions themselves.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/fase_trace.hpp"
+#include "core/mrc.hpp"
+#include "core/policy.hpp"
+#include "core/reuse_locality.hpp"
+#include "core/write_cache.hpp"
+#include "pmem/flush.hpp"
+
+namespace {
+
+using namespace nvc;
+using namespace nvc::core;
+
+std::vector<LineAddr> random_trace(std::size_t n, std::size_t distinct,
+                                   std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<LineAddr> trace(n);
+  for (auto& a : trace) a = rng.below(distinct);
+  return trace;
+}
+
+void BM_WriteCacheHit(benchmark::State& state) {
+  WriteCache cache(static_cast<std::size_t>(state.range(0)));
+  CountingSink sink;
+  for (LineAddr l = 0; l < static_cast<LineAddr>(state.range(0)); ++l) {
+    cache.access(l, sink);
+  }
+  LineAddr l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(l, sink));
+    l = (l + 1) % static_cast<LineAddr>(state.range(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteCacheHit)->Arg(8)->Arg(50)->Arg(1024);
+
+void BM_WriteCacheMissEvict(benchmark::State& state) {
+  WriteCache cache(static_cast<std::size_t>(state.range(0)));
+  CountingSink sink;
+  LineAddr next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(next++, sink));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteCacheMissEvict)->Arg(8)->Arg(50)->Arg(1024);
+
+void BM_AtlasTableStore(benchmark::State& state) {
+  auto policy = make_policy(PolicyKind::kAtlas);
+  CountingSink sink;
+  Rng rng(3);
+  for (auto _ : state) {
+    policy->on_store(rng.below(64) + 1, sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AtlasTableStore);
+
+void BM_ScPolicyStore(benchmark::State& state) {
+  PolicyConfig config;
+  config.cache_size = 23;
+  auto policy = make_policy(PolicyKind::kSoftCacheOffline, config);
+  CountingSink sink;
+  Rng rng(3);
+  for (auto _ : state) {
+    policy->on_store(rng.below(64) + 1, sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScPolicyStore);
+
+void BM_ReuseAllK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trace = random_trace(n, 64);
+  const auto intervals = intervals_of_trace(trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_reuse_all_k(intervals, static_cast<LogicalTime>(n)));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReuseAllK)->Range(1 << 12, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_IntervalExtraction(benchmark::State& state) {
+  const auto trace = random_trace(1 << 16, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intervals_of_trace(trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * (1 << 16));
+}
+BENCHMARK(BM_IntervalExtraction);
+
+void BM_FaseRename(benchmark::State& state) {
+  FaseRenamer renamer;
+  Rng rng(5);
+  int i = 0;
+  for (auto _ : state) {
+    if ((++i & 63) == 0) renamer.fase_boundary();
+    benchmark::DoNotOptimize(renamer.rename(rng.below(128)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaseRename);
+
+void BM_MattsonExactLru(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trace = random_trace(n, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrc_exact_lru(trace, 50));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MattsonExactLru)->Range(1 << 12, 1 << 18);
+
+void BM_FlushInstruction(benchmark::State& state) {
+  const auto kind = static_cast<pmem::FlushKind>(state.range(0));
+  pmem::FlushBackend backend(kind, /*simulated_latency_ns=*/100);
+  alignas(64) static volatile char buffer[64 * 64];
+  std::size_t i = 0;
+  for (auto _ : state) {
+    buffer[(i % 64) * 64] = static_cast<char>(i);
+    backend.flush(const_cast<const char*>(&buffer[(i % 64) * 64]));
+    ++i;
+  }
+  backend.fence();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(pmem::to_string(backend.kind()));
+}
+BENCHMARK(BM_FlushInstruction)
+    ->Arg(static_cast<int>(pmem::FlushKind::kClflush))
+    ->Arg(static_cast<int>(pmem::FlushKind::kClflushopt))
+    ->Arg(static_cast<int>(pmem::FlushKind::kClwb))
+    ->Arg(static_cast<int>(pmem::FlushKind::kCountOnly));
+
+}  // namespace
+
+BENCHMARK_MAIN();

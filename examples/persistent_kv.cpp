@@ -1,0 +1,67 @@
+// A durable key-value store in ~60 lines of application code: the MDB-style
+// copy-on-write B+-tree running on the FASE runtime. Write transactions are
+// failure-atomic sections; snapshot readers run in parallel with the writer.
+#include <cstdio>
+
+#include "mdb/btree.hpp"
+#include "runtime/runtime.hpp"
+#include "workloads/api.hpp"
+
+int main() {
+  using namespace nvc;
+
+  runtime::RuntimeConfig config;
+  config.region_name = "example-kv";
+  config.region_size = 128u << 20;
+  config.policy = core::PolicyKind::kSoftCache;  // adaptive write caching
+  runtime::Runtime rt(config);
+  workloads::RuntimeApi api(rt);
+
+  mdb::Db db(api, /*max_pages=*/2048);
+
+  // Insert some pairs in small durable transactions.
+  for (mdb::Key batch = 0; batch < 100; ++batch) {
+    auto txn = db.begin_write(/*tid=*/0);
+    for (mdb::Key k = 0; k < 100; ++k) {
+      const mdb::Key key = batch * 100 + k;
+      txn.put(key, key * key);
+    }
+    txn.commit();  // FASE end: buffered lines flushed, commit durable
+  }
+
+  // Point lookups against a consistent snapshot.
+  auto read = db.begin_read();
+  std::printf("count=%zu, get(1234)=%llu, get(424242)=%s\n", read.count(),
+              static_cast<unsigned long long>(*read.get(1234)),
+              read.get(424242) ? "found" : "absent");
+
+  // Range scan.
+  std::printf("keys from 9990: ");
+  auto print_pair = [](mdb::Key k, mdb::Value, void*) {
+    std::printf("%llu ", static_cast<unsigned long long>(k));
+  };
+  read.scan(9990, 10, print_pair, nullptr);
+  std::printf("\n");
+
+  // A transaction that aborts leaves no trace.
+  {
+    auto txn = db.begin_write(0);
+    txn.put(777777, 1);
+    txn.abort();
+  }
+  std::printf("after abort, get(777777)=%s\n",
+              db.begin_read().get(777777) ? "found (BUG)" : "absent");
+
+  // Show what adaptive write caching saved.
+  const auto stats = rt.stats();
+  std::printf("stores=%llu flushes=%llu flush_ratio=%.3f "
+              "(page copies=%llu, reused pages=%llu)\n",
+              static_cast<unsigned long long>(stats.stores),
+              static_cast<unsigned long long>(stats.flushes),
+              stats.flush_ratio(),
+              static_cast<unsigned long long>(db.stats().page_copies),
+              static_cast<unsigned long long>(db.stats().page_reuses));
+
+  rt.destroy_storage();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style Expects/Ensures).
+//
+// NVC_REQUIRE  — precondition, always checked, aborts with a message.
+// NVC_ENSURE   — postcondition, always checked.
+// NVC_ASSERT   — internal invariant, checked unless NDEBUG.
+// NVC_UNREACHABLE — marks impossible control flow.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvc::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "nvcache: %s failed: %s\n  at %s:%d\n  %s\n", kind,
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace nvc::detail
+
+#define NVC_REQUIRE(expr, ...)                                         \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::nvc::detail::contract_failure("precondition", #expr, __FILE__, \
+                                      __LINE__, "" __VA_ARGS__);       \
+    }                                                                  \
+  } while (0)
+
+#define NVC_ENSURE(expr, ...)                                           \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::nvc::detail::contract_failure("postcondition", #expr, __FILE__, \
+                                      __LINE__, "" __VA_ARGS__);        \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define NVC_ASSERT(expr, ...) \
+  do {                        \
+  } while (0)
+#else
+#define NVC_ASSERT(expr, ...)                                        \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::nvc::detail::contract_failure("invariant", #expr, __FILE__, \
+                                      __LINE__, "" __VA_ARGS__);     \
+    }                                                                \
+  } while (0)
+#endif
+
+#define NVC_UNREACHABLE(msg)                                             \
+  ::nvc::detail::contract_failure("unreachable", "control flow", __FILE__, \
+                                  __LINE__, msg)

@@ -1,0 +1,63 @@
+// Thread coordination primitives for the strong-scaling workloads:
+// a reusable sense-reversing spin barrier (cheap for short phases) and a
+// simple thread team that joins on destruction (RAII, CP.23/CP.25).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace nvc {
+
+/// Sense-reversing centralized spin barrier. Reusable across phases.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {
+    NVC_REQUIRE(parties > 0);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();  // host may have fewer cores than threads
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+/// Launches `n` threads running fn(thread_id) and joins them on run() return.
+class ThreadTeam {
+ public:
+  /// Run fn(tid) on `n` threads; tid 0 runs on the calling thread so that
+  /// single-threaded configurations have zero spawn overhead.
+  static void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    NVC_REQUIRE(n > 0);
+    std::vector<std::thread> threads;
+    threads.reserve(n - 1);
+    for (std::size_t tid = 1; tid < n; ++tid) {
+      threads.emplace_back([&fn, tid] { fn(tid); });
+    }
+    fn(0);
+    for (auto& t : threads) t.join();
+  }
+};
+
+}  // namespace nvc

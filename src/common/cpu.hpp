@@ -1,0 +1,15 @@
+// Runtime CPU feature detection for the persistent-memory flush instructions.
+#pragma once
+
+namespace nvc {
+
+struct CpuFeatures {
+  bool clflush = false;     // SSE2 CLFLUSH
+  bool clflushopt = false;  // CLFLUSHOPT (weakly ordered flush+invalidate)
+  bool clwb = false;        // CLWB (write back without invalidate)
+};
+
+/// Detect flush-instruction support via CPUID (cached after first call).
+const CpuFeatures& cpu_features();
+
+}  // namespace nvc

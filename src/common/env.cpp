@@ -1,0 +1,27 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace nvc {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+bool full_scale() { return env_int("NVC_FULL", 0) != 0; }
+
+std::int64_t scaled(std::int64_t quick, std::int64_t full) {
+  return full_scale() ? full : quick;
+}
+
+}  // namespace nvc

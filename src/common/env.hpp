@@ -1,0 +1,25 @@
+// Environment-variable based configuration for the benchmark harness.
+// Every bench binary honors:
+//   NVC_FULL=1        run paper-scale problem sizes (defaults are scaled down)
+//   NVC_THREADS=...   cap the thread sweep
+//   NVC_SEED=...      workload RNG seed
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvc {
+
+/// Read an integer environment variable, or `fallback` if unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a string environment variable, or `fallback` if unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+/// True when NVC_FULL is set to a nonzero value: run paper-scale inputs.
+bool full_scale();
+
+/// Scale a problem size: full-scale value when NVC_FULL=1, else the default.
+std::int64_t scaled(std::int64_t quick, std::int64_t full);
+
+}  // namespace nvc

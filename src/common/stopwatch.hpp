@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nvc {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nvc

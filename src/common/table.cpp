@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace nvc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NVC_REQUIRE(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  NVC_REQUIRE(cells.size() == header_.size(),
+              "row arity must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    std::fputc('+', out);
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, " %-*s |", static_cast<int>(width[c]),
+                   cells[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) print_cells(row);
+  print_rule();
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_ratio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fx", v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_percent(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f%%", v * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::fmt_count(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace nvc

@@ -1,0 +1,33 @@
+// Plain-text table printer used by the benchmark harness to emit rows in the
+// same layout as the paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nvc {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to `out` (defaults to stdout) with column alignment and rules.
+  void print(std::FILE* out = stdout) const;
+
+  /// Number formatting helpers for table cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_ratio(double v);     // "2.94x"
+  static std::string fmt_percent(double v);   // "83.21%"
+  static std::string fmt_count(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nvc

@@ -1,0 +1,54 @@
+// Fundamental types shared across the nvcache libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvc {
+
+/// Byte address into (emulated) persistent memory.
+using PmAddr = std::uintptr_t;
+
+/// Address of a 64-byte hardware cache line (byte address >> kLineShift).
+using LineAddr = std::uint64_t;
+
+/// Logical time: index of a persistent write in a per-thread trace.
+using LogicalTime = std::uint64_t;
+
+/// Identifier of a failure-atomic section instance (monotonic per thread).
+using FaseId = std::uint64_t;
+
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kLineShift = 6;  // log2(kCacheLineSize)
+
+/// Convert a byte address to the address of its enclosing cache line.
+constexpr LineAddr line_of(PmAddr addr) noexcept {
+  return static_cast<LineAddr>(addr >> kLineShift);
+}
+
+/// First byte address of a cache line.
+constexpr PmAddr line_base(LineAddr line) noexcept {
+  return static_cast<PmAddr>(line) << kLineShift;
+}
+
+/// Round `n` up to a multiple of `align` (align must be a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// True if `n` is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Integer log2 for powers of two.
+constexpr unsigned log2_pow2(std::size_t n) noexcept {
+  unsigned r = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace nvc

@@ -1,0 +1,25 @@
+#include "core/fase_trace.hpp"
+
+#include "common/assert.hpp"
+
+namespace nvc::core {
+
+std::vector<LineAddr> rename_trace(
+    const std::vector<LineAddr>& trace,
+    const std::vector<std::size_t>& boundaries) {
+  FaseRenamer renamer;
+  std::vector<LineAddr> out;
+  out.reserve(trace.size());
+  std::size_t next_boundary = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    while (next_boundary < boundaries.size() &&
+           boundaries[next_boundary] == i) {
+      renamer.fase_boundary();
+      ++next_boundary;
+    }
+    out.push_back(renamer.rename(trace[i]));
+  }
+  return out;
+}
+
+}  // namespace nvc::core

@@ -1,0 +1,64 @@
+// FASE-aware trace transformation (paper Section III-B, "Adaptation to FASE
+// Semantics").
+//
+// FASE semantics invalidate every data reuse that crosses a FASE boundary:
+// the software cache is flushed and cleared at each FASE end, so a write in
+// the next FASE can never be combined with one from the previous FASE. A
+// locality analysis on the raw address trace would credit those impossible
+// reuses. The fix is to rename addresses so that the same cache line gets a
+// completely fresh identity in every FASE (the paper's "ab|ab|ab" ->
+// "ab|cd|ef" example).
+//
+// The renamer is streaming and O(1) per write: each line remembers the FASE
+// epoch in which its current identity was assigned; a write from a newer
+// epoch allocates a fresh identity instead of clearing tables at FASE ends.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nvc::core {
+
+class FaseRenamer {
+ public:
+  /// Note a FASE boundary: subsequent writes get fresh identities.
+  void fase_boundary() noexcept { ++epoch_; }
+
+  /// Map a write to its FASE-scoped identity.
+  LineAddr rename(LineAddr line) {
+    auto [it, inserted] = table_.try_emplace(line, Entry{epoch_, next_id_});
+    if (inserted || it->second.epoch != epoch_) {
+      if (!inserted) it->second = Entry{epoch_, next_id_};
+      return next_id_++;
+    }
+    return it->second.id;
+  }
+
+  /// Reset all state (new sampling burst).
+  void reset() {
+    table_.clear();
+    epoch_ = 0;
+    next_id_ = 0;
+  }
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  struct Entry {
+    std::uint64_t epoch;
+    LineAddr id;
+  };
+  std::unordered_map<LineAddr, Entry> table_;
+  std::uint64_t epoch_ = 0;
+  LineAddr next_id_ = 0;
+};
+
+/// Batch helper: rename a full trace given FASE boundary positions
+/// (boundaries[i] = index in `trace` *before* which a FASE ends).
+std::vector<LineAddr> rename_trace(const std::vector<LineAddr>& trace,
+                                   const std::vector<std::size_t>& boundaries);
+
+}  // namespace nvc::core

@@ -1,0 +1,47 @@
+// Cache-size selection from an MRC (paper Section III-C, "Cache Size
+// Optimization").
+//
+// The paper's procedure: compute the miss-ratio decrease for every unit
+// increase of the cache size (the gradient), rank the decreases, take the
+// top few as candidate knees, and choose the candidate with the largest
+// cache size. The maximal size is bounded (default 50) to cap the FASE-end
+// drain stall; if the MRC has no obvious inflection point, the maximal size
+// is chosen.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mrc.hpp"
+
+namespace nvc::core {
+
+struct KneeConfig {
+  std::size_t default_size = 8;  // paper: initial cache size
+  std::size_t max_size = 50;     // paper: bound on FASE-end stall
+  std::size_t top_candidates = 5;
+  /// A gradient below this is noise, not an inflection point. The paper's
+  /// Fig. 2 knees are drops of several percentage points.
+  double min_drop = 1e-3;
+};
+
+struct KneeResult {
+  std::size_t chosen_size = 0;
+  std::vector<std::size_t> candidates;  // ranked by gradient, best first
+  bool had_knees = false;               // false => fell back to max_size
+};
+
+class KneeFinder {
+ public:
+  explicit KneeFinder(KneeConfig config = {}) : config_(config) {}
+
+  /// Pick a cache size from the MRC. The MRC must cover [1, max_size].
+  KneeResult select(const Mrc& mrc) const;
+
+  const KneeConfig& config() const noexcept { return config_; }
+
+ private:
+  KneeConfig config_;
+};
+
+}  // namespace nvc::core

@@ -1,0 +1,153 @@
+#include "core/mrc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "core/write_cache.hpp"
+
+namespace nvc::core {
+
+double Mrc::at(std::size_t c) const {
+  NVC_REQUIRE(c >= 1 && c <= mr_.size(), "cache size out of MRC range");
+  return mr_[c - 1];
+}
+
+double Mrc::gradient(std::size_t c) const {
+  NVC_REQUIRE(c >= 2 && c <= mr_.size());
+  return mr_[c - 2] - mr_[c - 1];
+}
+
+Mrc mrc_from_reuse(const ReuseCurve& reuse, std::size_t max_size) {
+  NVC_REQUIRE(max_size >= 1);
+  const LogicalTime n = reuse.trace_length();
+  std::vector<double> mr(max_size, 1.0);
+  if (n < 2) return Mrc(std::move(mr));
+
+  // Scattered model samples: c(k) = k - reuse(k) is nondecreasing in k, so a
+  // single sweep assigns, for each integer size, the first sample at or past
+  // it. hr(c) = reuse(k+1) - reuse(k)  =>  mr = 1 - hr (Eq. 3 / Eq. 6).
+  std::size_t next_c = 1;
+  for (LogicalTime k = 1; k < n && next_c <= max_size; ++k) {
+    const double c = static_cast<double>(k) - reuse.at(k);
+    const double hr = reuse.at(k + 1) - reuse.at(k);
+    const double miss = std::clamp(1.0 - hr, 0.0, 1.0);
+    while (next_c <= max_size && static_cast<double>(next_c) <= c) {
+      mr[next_c - 1] = miss;
+      ++next_c;
+    }
+  }
+  // Sizes beyond the largest sampled c: extend with the final miss ratio.
+  if (next_c > 1) {
+    for (std::size_t c = next_c; c <= max_size; ++c) mr[c - 1] = mr[next_c - 2];
+  }
+
+  // Enforce LRU inclusion: non-increasing in cache size.
+  for (std::size_t c = 1; c < max_size; ++c) {
+    mr[c] = std::min(mr[c], mr[c - 1]);
+  }
+  return Mrc(std::move(mr));
+}
+
+namespace {
+
+/// Fenwick tree over logical times for the Mattson stack-distance pass.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t i, int delta) {
+    for (; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  std::int64_t prefix(std::size_t i) const {
+    std::int64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+Mrc mrc_exact_lru(std::span<const LineAddr> trace, std::size_t max_size) {
+  NVC_REQUIRE(max_size >= 1);
+  const std::size_t n = trace.size();
+  // distance_hist[d] = accesses with stack distance exactly d (1-based);
+  // index 0 collects cold misses (infinite distance).
+  std::vector<std::uint64_t> distance_hist(max_size + 1, 0);
+  std::uint64_t beyond = 0;  // distances > max_size
+  std::uint64_t cold = 0;
+
+  Fenwick marks(n);
+  std::unordered_map<LineAddr, std::size_t> last;  // line -> 1-based time
+  last.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = i + 1;
+    auto [it, inserted] = last.try_emplace(trace[i], t);
+    if (inserted) {
+      ++cold;
+    } else {
+      const std::size_t prev = it->second;
+      // Stack distance = number of distinct lines accessed in (prev, t),
+      // plus one for the line itself.
+      const auto between =
+          static_cast<std::uint64_t>(marks.prefix(t - 1) - marks.prefix(prev));
+      const std::uint64_t dist = between + 1;
+      if (dist <= max_size) {
+        ++distance_hist[static_cast<std::size_t>(dist)];
+      } else {
+        ++beyond;
+      }
+      marks.add(prev, -1);
+      it->second = t;
+    }
+    marks.add(t, +1);
+  }
+
+  std::vector<double> mr(max_size, 1.0);
+  if (n == 0) return Mrc(std::move(mr));
+  // Misses at size c = cold + accesses with distance > c.
+  std::uint64_t hits_within = 0;
+  for (std::size_t c = 1; c <= max_size; ++c) {
+    hits_within += distance_hist[c];
+    const std::uint64_t misses = cold + beyond +
+                                 (static_cast<std::uint64_t>(n) - cold -
+                                  beyond - hits_within);
+    mr[c - 1] = static_cast<double>(misses) / static_cast<double>(n);
+  }
+  return Mrc(std::move(mr));
+}
+
+Mrc mrc_simulate_write_cache(std::span<const LineAddr> trace,
+                             std::span<const std::size_t> boundaries,
+                             std::size_t max_size) {
+  NVC_REQUIRE(max_size >= 1);
+  std::vector<double> mr(max_size, 1.0);
+  if (trace.empty()) return Mrc(std::move(mr));
+
+  for (std::size_t c = 1; c <= max_size; ++c) {
+    WriteCache cache(c);
+    CountingSink sink;
+    std::size_t next_boundary = 0;
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      while (next_boundary < boundaries.size() &&
+             boundaries[next_boundary] == i) {
+        cache.flush_all(sink);
+        ++next_boundary;
+      }
+      if (cache.access(trace[i], sink)) ++hits;
+    }
+    mr[c - 1] = 1.0 - static_cast<double>(hits) /
+                          static_cast<double>(trace.size());
+  }
+  return Mrc(std::move(mr));
+}
+
+}  // namespace nvc::core

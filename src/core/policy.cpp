@@ -1,0 +1,222 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace nvc::core {
+
+namespace {
+// Bookkeeping instruction estimates per operation (x86-ish, calibrated so the
+// relative overheads match the paper's Table IV observation that SC executes
+// about 8% more instructions than AT on a write-heavy workload).
+constexpr std::uint64_t kInstrEagerStore = 2;
+constexpr std::uint64_t kInstrLazyStore = 12;
+constexpr std::uint64_t kInstrAtlasProbe = 8;
+constexpr std::uint64_t kInstrAtlasReplace = 6;
+constexpr std::uint64_t kInstrPerFlushIssue = 4;
+constexpr std::uint64_t kInstrSamplerStore = 9;
+constexpr std::uint64_t kInstrSamplerAnalysisPerWrite = 30;
+}  // namespace
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kEager:
+      return "ER";
+    case PolicyKind::kLazy:
+      return "LA";
+    case PolicyKind::kAtlas:
+      return "AT";
+    case PolicyKind::kSoftCache:
+      return "SC";
+    case PolicyKind::kSoftCacheOffline:
+      return "SC-offline";
+    case PolicyKind::kBest:
+      return "BEST";
+  }
+  NVC_UNREACHABLE("invalid PolicyKind");
+}
+
+void Policy::on_fase_begin(FlushSink&) { ++counters_.fases; }
+
+void Policy::on_fase_end(FlushSink& sink) { sink.drain(); }
+
+void Policy::finish(FlushSink& sink) { sink.drain(); }
+
+// --- ER ---------------------------------------------------------------------
+
+void EagerPolicy::on_store(LineAddr line, FlushSink& sink) {
+  ++counters_.stores;
+  counters_.instructions += kInstrEagerStore + kInstrPerFlushIssue;
+  sink.flush_line(line);
+}
+
+// --- LA ---------------------------------------------------------------------
+
+void LazyPolicy::on_store(LineAddr line, FlushSink&) {
+  ++counters_.stores;
+  counters_.instructions += kInstrLazyStore;
+  auto [it, inserted] = pending_.try_emplace(line, seq_);
+  if (inserted) {
+    ++seq_;
+  } else {
+    ++counters_.combined;
+  }
+}
+
+void LazyPolicy::flush_pending(FlushSink& sink) {
+  // Flush in first-write order for determinism.
+  std::vector<std::pair<std::uint64_t, LineAddr>> ordered;
+  ordered.reserve(pending_.size());
+  for (const auto& [line, seq] : pending_) ordered.emplace_back(seq, line);
+  std::sort(ordered.begin(), ordered.end());
+  for (const auto& [seq, line] : ordered) {
+    (void)seq;
+    counters_.instructions += kInstrPerFlushIssue;
+    sink.flush_line(line);
+  }
+  pending_.clear();
+  seq_ = 0;
+}
+
+void LazyPolicy::on_fase_end(FlushSink& sink) {
+  flush_pending(sink);
+  sink.drain();
+}
+
+void LazyPolicy::finish(FlushSink& sink) {
+  flush_pending(sink);
+  sink.drain();
+}
+
+// --- AT ---------------------------------------------------------------------
+
+AtlasPolicy::AtlasPolicy(std::size_t table_size, std::size_t associativity)
+    : table_(table_size),
+      sets_(table_size / associativity),
+      ways_(associativity) {
+  NVC_REQUIRE(associativity >= 1 && associativity <= table_size);
+  NVC_REQUIRE(table_size % associativity == 0);
+  NVC_REQUIRE(is_pow2(sets_), "Atlas sets must be a power of two");
+}
+
+void AtlasPolicy::on_store(LineAddr line, FlushSink& sink) {
+  ++counters_.stores;
+  counters_.instructions += kInstrAtlasProbe;
+  Entry* set = &table_[(static_cast<std::size_t>(line) & (sets_ - 1)) *
+                       ways_];
+  ++clock_;
+  Entry* victim = &set[0];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (set[w].line == line) {
+      ++counters_.combined;  // already recorded: the write is absorbed
+      set[w].stamp = clock_;
+      return;
+    }
+    if (set[w].line == 0) {
+      victim = &set[w];  // prefer an empty slot
+      break;
+    }
+    if (set[w].stamp < victim->stamp) victim = &set[w];
+  }
+  if (victim->line != 0) {
+    // Conflict: write back the previously recorded line, then replace it.
+    counters_.instructions += kInstrAtlasReplace + kInstrPerFlushIssue;
+    sink.flush_line(victim->line);
+  }
+  victim->line = line;
+  victim->stamp = clock_;
+}
+
+void AtlasPolicy::flush_table(FlushSink& sink) {
+  for (Entry& slot : table_) {
+    if (slot.line != 0) {
+      counters_.instructions += kInstrPerFlushIssue;
+      sink.flush_line(slot.line);
+      slot = Entry{};
+    }
+  }
+}
+
+void AtlasPolicy::on_fase_end(FlushSink& sink) {
+  flush_table(sink);
+  sink.drain();
+}
+
+void AtlasPolicy::finish(FlushSink& sink) {
+  flush_table(sink);
+  sink.drain();
+}
+
+// --- SC / SC-offline ---------------------------------------------------------
+
+SoftCachePolicy::SoftCachePolicy(const PolicyConfig& config, bool online)
+    : cache_(config.cache_size), sampler_(config.sampler), online_(online) {}
+
+void SoftCachePolicy::on_store(LineAddr line, FlushSink& sink) {
+  ++counters_.stores;
+  const bool hit = cache_.access(line, sink);
+  if (hit) {
+    ++counters_.combined;
+    counters_.instructions += WriteCache::kInstrPerHit;
+  } else {
+    counters_.instructions += WriteCache::kInstrPerInsert;
+  }
+
+  if (online_) {
+    if (sampler_.sampling()) counters_.instructions += kInstrSamplerStore;
+    if (const auto selected = sampler_.on_store(line)) {
+      counters_.instructions +=
+          kInstrSamplerAnalysisPerWrite * sampler_.burst_length();
+      cache_.resize(*selected, sink);
+    }
+  }
+}
+
+void SoftCachePolicy::on_fase_begin(FlushSink& sink) {
+  Policy::on_fase_begin(sink);
+}
+
+void SoftCachePolicy::on_fase_end(FlushSink& sink) {
+  if (online_) sampler_.on_fase_boundary();
+  const std::uint64_t flushed = cache_.size();
+  counters_.instructions += kInstrPerFlushIssue * flushed;
+  cache_.flush_all(sink);
+  sink.drain();
+}
+
+void SoftCachePolicy::finish(FlushSink& sink) {
+  const std::uint64_t flushed = cache_.size();
+  counters_.instructions += kInstrPerFlushIssue * flushed;
+  cache_.flush_all(sink);
+  sink.drain();
+}
+
+// --- BEST -------------------------------------------------------------------
+
+void BestPolicy::on_store(LineAddr, FlushSink&) { ++counters_.stores; }
+
+// --- factory ------------------------------------------------------------------
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                    const PolicyConfig& config) {
+  switch (kind) {
+    case PolicyKind::kEager:
+      return std::make_unique<EagerPolicy>();
+    case PolicyKind::kLazy:
+      return std::make_unique<LazyPolicy>();
+    case PolicyKind::kAtlas:
+      return std::make_unique<AtlasPolicy>(config.atlas_table_size,
+                                           config.atlas_associativity);
+    case PolicyKind::kSoftCache:
+      return std::make_unique<SoftCachePolicy>(config, /*online=*/true);
+    case PolicyKind::kSoftCacheOffline:
+      return std::make_unique<SoftCachePolicy>(config, /*online=*/false);
+    case PolicyKind::kBest:
+      return std::make_unique<BestPolicy>();
+  }
+  NVC_UNREACHABLE("invalid PolicyKind");
+}
+
+}  // namespace nvc::core

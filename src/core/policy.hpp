@@ -1,0 +1,185 @@
+// The six persistent-data-caching techniques compared in the paper
+// (Section IV-A), behind one interface so every experiment runs them through
+// identical plumbing:
+//
+//   ER          eager: flush each persistent store immediately
+//   LA          lazy: record dirty lines, flush them all at FASE end
+//   AT          Atlas: fixed-size direct-mapped address table (the paper's
+//               state of the art, Section II-A)
+//   SC          this paper: adaptive software write-combining cache with
+//               online bursty-sampled MRC and knee-based sizing
+//   SC-offline  the software cache with a size chosen from a profiling run
+//   BEST        no flushes at all — invalid, but an upper bound on any
+//               flush schedule (Section IV-A)
+//
+// Each policy reports the store/flush counts used for the paper's flush
+// ratios (Table III) and an estimate of the bookkeeping instructions it
+// executes per operation, which feeds the hwsim cost model (Table IV's
+// instruction counts).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/sampler.hpp"
+#include "core/write_cache.hpp"
+
+namespace nvc::core {
+
+enum class PolicyKind : std::uint8_t {
+  kEager,      // ER
+  kLazy,       // LA
+  kAtlas,      // AT
+  kSoftCache,  // SC (online adaptive)
+  kSoftCacheOffline,
+  kBest,
+};
+
+const char* to_string(PolicyKind kind);
+
+struct PolicyConfig {
+  /// AT: number of table entries (Atlas uses 8).
+  std::size_t atlas_table_size = 8;
+  /// AT: ways per set. 1 = Atlas' direct-mapped table (the paper's
+  /// baseline); >1 is an ablation variant with per-set LRU replacement.
+  std::size_t atlas_associativity = 1;
+  /// SC-offline: the profiled best size; SC: the initial (default) size.
+  std::size_t cache_size = WriteCache::kDefaultCapacity;
+  /// SC: online sampler configuration.
+  SamplerConfig sampler;
+};
+
+struct PolicyCounters {
+  std::uint64_t stores = 0;
+  std::uint64_t combined = 0;     // stores absorbed by write combining
+  std::uint64_t fases = 0;
+  std::uint64_t instructions = 0; // bookkeeping instruction estimate
+
+  /// The paper's headline metric: flushes / stores, computed by the caller
+  /// from the sink's flush count and `stores`.
+  double flush_ratio(std::uint64_t flushes) const noexcept {
+    return stores == 0 ? 0.0
+                       : static_cast<double>(flushes) /
+                             static_cast<double>(stores);
+  }
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual PolicyKind kind() const noexcept = 0;
+  const char* name() const noexcept { return to_string(kind()); }
+
+  /// A persistent store to `line` occurred inside a FASE.
+  virtual void on_store(LineAddr line, FlushSink& sink) = 0;
+
+  /// Outermost FASE boundaries. (Nested FASEs are handled by the runtime;
+  /// policies only see outermost begin/end, as in Atlas.)
+  virtual void on_fase_begin(FlushSink& sink);
+  virtual void on_fase_end(FlushSink& sink);
+
+  /// Program end: release anything still buffered.
+  virtual void finish(FlushSink& sink);
+
+  const PolicyCounters& counters() const noexcept { return counters_; }
+
+  /// SC / SC-offline: current software-cache capacity (0 for others).
+  virtual std::size_t current_cache_size() const noexcept { return 0; }
+
+ protected:
+  PolicyCounters counters_;
+};
+
+/// Instantiate one of the six techniques.
+std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                    const PolicyConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// Concrete policies (exposed for white-box tests).
+// ---------------------------------------------------------------------------
+
+/// ER: clflush after every store. Cheap bookkeeping, maximal flush count.
+class EagerPolicy final : public Policy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kEager; }
+  void on_store(LineAddr line, FlushSink& sink) override;
+};
+
+/// LA: remember every dirty line, flush the whole set at FASE end. Minimal
+/// flush count, maximal FASE-end stall.
+class LazyPolicy final : public Policy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kLazy; }
+  void on_store(LineAddr line, FlushSink& sink) override;
+  void on_fase_end(FlushSink& sink) override;
+  void finish(FlushSink& sink) override;
+
+ private:
+  void flush_pending(FlushSink& sink);
+  std::unordered_map<LineAddr, std::uint64_t> pending_;  // line -> seq
+  std::uint64_t seq_ = 0;
+};
+
+/// AT: Atlas' fixed-size direct-mapped table of modified line addresses
+/// (paper Section II-A: "equivalent to a direct-mapped, fixed size cache").
+/// An associativity knob (>1 ways, per-set LRU) is provided as an ablation.
+class AtlasPolicy final : public Policy {
+ public:
+  AtlasPolicy(std::size_t table_size, std::size_t associativity = 1);
+  PolicyKind kind() const noexcept override { return PolicyKind::kAtlas; }
+  void on_store(LineAddr line, FlushSink& sink) override;
+  void on_fase_end(FlushSink& sink) override;
+  void finish(FlushSink& sink) override;
+
+ private:
+  struct Entry {
+    LineAddr line = 0;  // 0 = empty (line 0 is never persistent)
+    std::uint64_t stamp = 0;
+  };
+  void flush_table(FlushSink& sink);
+  std::vector<Entry> table_;  // sets_ x ways_, row-major by set
+  std::size_t sets_;
+  std::size_t ways_;
+  std::uint64_t clock_ = 0;
+};
+
+/// SC / SC-offline: the adaptive software write-combining cache.
+class SoftCachePolicy final : public Policy {
+ public:
+  /// `online`: true = SC (bursty sampling + resize), false = SC-offline
+  /// (fixed, profiled size).
+  SoftCachePolicy(const PolicyConfig& config, bool online);
+  PolicyKind kind() const noexcept override {
+    return online_ ? PolicyKind::kSoftCache : PolicyKind::kSoftCacheOffline;
+  }
+  void on_store(LineAddr line, FlushSink& sink) override;
+  void on_fase_begin(FlushSink& sink) override;
+  void on_fase_end(FlushSink& sink) override;
+  void finish(FlushSink& sink) override;
+  std::size_t current_cache_size() const noexcept override {
+    return cache_.capacity();
+  }
+
+  const WriteCache& cache() const noexcept { return cache_; }
+  const BurstSampler& sampler() const noexcept { return sampler_; }
+
+ private:
+  WriteCache cache_;
+  BurstSampler sampler_;
+  bool online_;
+};
+
+/// BEST: never flush. Invalid as a persistence technique; used as the upper
+/// bound of optimal caching.
+class BestPolicy final : public Policy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kBest; }
+  void on_store(LineAddr line, FlushSink& sink) override;
+};
+
+}  // namespace nvc::core

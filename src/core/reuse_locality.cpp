@@ -1,0 +1,162 @@
+#include "core/reuse_locality.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace nvc::core {
+
+double ReuseCurve::at(LogicalTime k) const {
+  NVC_REQUIRE(k >= 1 && k <= n_, "timescale out of range");
+  return values_[static_cast<std::size_t>(k - 1)];
+}
+
+double FootprintCurve::at(LogicalTime k) const {
+  NVC_REQUIRE(k >= 1 && k <= n_, "timescale out of range");
+  return values_[static_cast<std::size_t>(k - 1)];
+}
+
+ReuseCurve compute_reuse_all_k(std::span<const ReuseInterval> intervals,
+                               LogicalTime n) {
+  NVC_REQUIRE(n >= 1);
+  const auto size = static_cast<std::size_t>(n);
+
+  // dd is the second difference of the window-count totals g(k):
+  // one prefix sum gives h(k) = g(k) - g(k-1), a second gives g(k).
+  std::vector<double> dd(size + 2, 0.0);
+  for (const ReuseInterval& iv : intervals) {
+    NVC_ASSERT(iv.s >= 1 && iv.e > iv.s && iv.e <= n, "malformed interval");
+    const LogicalTime d = iv.e - iv.s;     // interval gap
+    const LogicalTime L = d + 1;           // smallest enclosing window length
+    const LogicalTime k1 = std::min(iv.e, n - iv.s + 1);
+    const LogicalTime k2 = std::max(iv.e, n - iv.s + 1);
+    dd[static_cast<std::size_t>(L)] += 1.0;
+    dd[static_cast<std::size_t>(k1) + 1] -= 1.0;
+    dd[static_cast<std::size_t>(k2) + 1] -= 1.0;
+    // The final +1 entry of the second difference lands at k = n+2, past the
+    // largest timescale we evaluate, so it is dropped.
+  }
+
+  std::vector<double> values(size, 0.0);
+  double h = 0.0;  // first prefix sum
+  double g = 0.0;  // second prefix sum: total enclosing-window count
+  for (std::size_t k = 1; k <= size; ++k) {
+    h += dd[k];
+    g += h;
+    const double windows = static_cast<double>(n - k + 1);
+    values[k - 1] = g / windows;
+  }
+  return ReuseCurve(std::move(values), n);
+}
+
+ReuseCurve compute_reuse_brute_force(std::span<const ReuseInterval> intervals,
+                                     LogicalTime n) {
+  NVC_REQUIRE(n >= 1);
+  const auto size = static_cast<std::size_t>(n);
+  std::vector<double> values(size, 0.0);
+  for (LogicalTime k = 1; k <= n; ++k) {
+    std::uint64_t total = 0;
+    for (LogicalTime w = 1; w + k - 1 <= n; ++w) {
+      const LogicalTime lo = w;
+      const LogicalTime hi = w + k - 1;
+      for (const ReuseInterval& iv : intervals) {
+        if (iv.s >= lo && iv.e <= hi) ++total;
+      }
+    }
+    values[static_cast<std::size_t>(k - 1)] =
+        static_cast<double>(total) / static_cast<double>(n - k + 1);
+  }
+  return ReuseCurve(std::move(values), n);
+}
+
+std::vector<ReuseInterval> intervals_of_trace(
+    std::span<const LineAddr> trace) {
+  std::vector<ReuseInterval> intervals;
+  std::unordered_map<LineAddr, LogicalTime> last_access;
+  last_access.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const LogicalTime t = static_cast<LogicalTime>(i) + 1;
+    auto [it, inserted] = last_access.try_emplace(trace[i], t);
+    if (!inserted) {
+      intervals.push_back(ReuseInterval{it->second, t});
+      it->second = t;
+    }
+  }
+  return intervals;
+}
+
+FootprintCurve compute_footprint_all_k(std::span<const LineAddr> trace) {
+  const LogicalTime n = static_cast<LogicalTime>(trace.size());
+  NVC_REQUIRE(n >= 1);
+  const auto size = static_cast<std::size_t>(n);
+
+  // Collect, per datum, the gaps in which no access to it occurs: before its
+  // first access, between consecutive accesses, and after its last access.
+  // A window of length k "misses" the datum iff it fits in such a gap, which
+  // happens in max(0, g - k + 1) start positions.
+  std::unordered_map<LineAddr, LogicalTime> last_access;
+  last_access.reserve(size);
+  std::vector<std::uint64_t> gap_count(size + 1, 0);  // gap_count[g]
+  std::uint64_t distinct = 0;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const LogicalTime t = static_cast<LogicalTime>(i) + 1;
+    auto [it, inserted] = last_access.try_emplace(trace[i], t);
+    if (inserted) {
+      ++distinct;
+      if (t > 1) ++gap_count[static_cast<std::size_t>(t - 1)];  // head gap
+    } else {
+      const LogicalTime gap = t - it->second - 1;
+      if (gap > 0) ++gap_count[static_cast<std::size_t>(gap)];
+      it->second = t;
+    }
+  }
+  for (const auto& [line, last] : last_access) {
+    (void)line;
+    if (last < n) ++gap_count[static_cast<std::size_t>(n - last)];  // tail gap
+  }
+
+  // For all k: miss_total(k) = sum_g gap_count[g] * max(0, g - k + 1).
+  // Build it with suffix sums: let C(k) = #gaps with g >= k and
+  // S(k) = sum of g over gaps with g >= k; then
+  // miss_total(k) = S(k) - (k - 1) * C(k).
+  std::vector<double> suffix_cnt(size + 2, 0.0);
+  std::vector<double> suffix_sum(size + 2, 0.0);
+  for (std::size_t g = size; g >= 1; --g) {
+    suffix_cnt[g] = suffix_cnt[g + 1] + static_cast<double>(gap_count[g]);
+    suffix_sum[g] = suffix_sum[g + 1] +
+                    static_cast<double>(gap_count[g]) * static_cast<double>(g);
+  }
+
+  std::vector<double> values(size, 0.0);
+  for (std::size_t k = 1; k <= size; ++k) {
+    const double miss_total =
+        suffix_sum[k] - static_cast<double>(k - 1) * suffix_cnt[k];
+    const double windows = static_cast<double>(n - k + 1);
+    values[k - 1] = static_cast<double>(distinct) - miss_total / windows;
+  }
+  return FootprintCurve(std::move(values), n);
+}
+
+FootprintCurve compute_footprint_brute_force(
+    std::span<const LineAddr> trace) {
+  const LogicalTime n = static_cast<LogicalTime>(trace.size());
+  NVC_REQUIRE(n >= 1);
+  const auto size = static_cast<std::size_t>(n);
+  std::vector<double> values(size, 0.0);
+  for (std::size_t k = 1; k <= size; ++k) {
+    std::uint64_t total = 0;
+    for (std::size_t w = 0; w + k <= size; ++w) {
+      std::unordered_set<LineAddr> distinct(trace.begin() + w,
+                                            trace.begin() + w + k);
+      total += distinct.size();
+    }
+    values[k - 1] =
+        static_cast<double>(total) / static_cast<double>(size - k + 1);
+  }
+  return FootprintCurve(std::move(values), n);
+}
+
+}  // namespace nvc::core

@@ -1,0 +1,92 @@
+// Reuse-based timescale locality (paper Section III-B).
+//
+// For a trace of n data accesses, reuse(k) is the average number of
+// intra-window reuses over all windows of length k. Counting reuses per
+// window is O(n^2); the paper inverts the sum (Eq. 1) and instead counts, for
+// each reuse interval [s, e], the number of k-length windows enclosing it
+// (Eq. 2). With 1-indexed times, a window of length k starting at w covers
+// [w, w+k-1] and encloses [s, e] iff
+//
+//     max(1, e-k+1) <= w <= min(s, n-k+1),
+//
+// so per interval the count, as a function of k, is piecewise linear with
+// slope +1 on [e-s+1, K1], slope 0 on (K1, K2], and slope -1 on (K2, n],
+// where K1 = min(e, n-s+1) and K2 = max(e, n-s+1). Each interval therefore
+// adds four entries to a second-difference array; two prefix sums then yield
+// the window-count totals for every k at once — O(n + r) overall.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nvc::core {
+
+/// One reuse interval: a write at time `s` and the next write to the same
+/// (FASE-renamed) datum at time `e`, 1-indexed, s < e.
+struct ReuseInterval {
+  LogicalTime s = 0;
+  LogicalTime e = 0;
+};
+
+/// Result of the all-k analysis. reuse[k] is valid for k in [1, n].
+class ReuseCurve {
+ public:
+  ReuseCurve() = default;
+  ReuseCurve(std::vector<double> values, LogicalTime n)
+      : values_(std::move(values)), n_(n) {}
+
+  /// reuse(k): average intra-window reuses over all windows of length k.
+  double at(LogicalTime k) const;
+
+  /// Trace length this curve was computed for.
+  LogicalTime trace_length() const noexcept { return n_; }
+
+  bool empty() const noexcept { return values_.empty(); }
+
+ private:
+  std::vector<double> values_;  // values_[k-1] = reuse(k)
+  LogicalTime n_ = 0;
+};
+
+/// Compute reuse(k) for all k in [1, n] in O(n + r) (paper Eq. 2 via the
+/// second-difference accumulation described above).
+ReuseCurve compute_reuse_all_k(std::span<const ReuseInterval> intervals,
+                               LogicalTime n);
+
+/// Reference implementation: enumerate every window (O(n^2 + nr)); used by
+/// the property tests to validate the linear-time algorithm.
+ReuseCurve compute_reuse_brute_force(std::span<const ReuseInterval> intervals,
+                                     LogicalTime n);
+
+/// Extract reuse intervals from an explicit address trace (1-indexed times).
+std::vector<ReuseInterval> intervals_of_trace(
+    std::span<const LineAddr> trace);
+
+/// Average working-set size fp(k) for all k in [1, n], computed from the
+/// trace's access-gap structure (equivalent to paper Eq. 4): a window of
+/// length k misses a datum iff it fits entirely in one of the datum's access
+/// gaps, so fp(k) = m - (sum over gaps g of max(0, g-k+1)) / (n-k+1).
+class FootprintCurve {
+ public:
+  FootprintCurve() = default;
+  FootprintCurve(std::vector<double> values, LogicalTime n)
+      : values_(std::move(values)), n_(n) {}
+
+  double at(LogicalTime k) const;
+  LogicalTime trace_length() const noexcept { return n_; }
+  bool empty() const noexcept { return values_.empty(); }
+
+ private:
+  std::vector<double> values_;
+  LogicalTime n_ = 0;
+};
+
+FootprintCurve compute_footprint_all_k(std::span<const LineAddr> trace);
+
+/// Reference O(n^2) footprint for the property tests.
+FootprintCurve compute_footprint_brute_force(std::span<const LineAddr> trace);
+
+}  // namespace nvc::core

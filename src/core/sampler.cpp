@@ -1,0 +1,73 @@
+#include "core/sampler.hpp"
+
+#include "common/assert.hpp"
+
+namespace nvc::core {
+
+BurstSampler::BurstSampler(SamplerConfig config)
+    : config_(config), fases_to_skip_(config.skip_fases) {
+  NVC_REQUIRE(config_.burst_length >= 2, "a burst must contain reuses");
+  burst_trace_.reserve(static_cast<std::size_t>(config_.burst_length));
+}
+
+void BurstSampler::on_fase_boundary() {
+  if (fases_to_skip_ > 0) {
+    --fases_to_skip_;
+    return;
+  }
+  if (sampling_) renamer_.fase_boundary();
+}
+
+std::optional<std::size_t> BurstSampler::on_store(LineAddr line) {
+  ++writes_seen_;
+  if (fases_to_skip_ > 0) {
+    // Warmup: don't record, but give up skipping if no FASE boundary shows
+    // up within a few bursts worth of writes (single-FASE programs).
+    if (++warmup_writes_ >= 4 * config_.burst_length) fases_to_skip_ = 0;
+    return std::nullopt;
+  }
+  if (!sampling_) {
+    if (config_.hibernation_length == 0) return std::nullopt;  // forever
+    if (++hibernated_ >= config_.hibernation_length) {
+      sampling_ = true;
+      hibernated_ = 0;
+      renamer_.reset();
+      burst_trace_.clear();
+    } else {
+      return std::nullopt;
+    }
+  }
+  burst_trace_.push_back(renamer_.rename(line));
+  if (burst_trace_.size() >= config_.burst_length) return finish_burst();
+  return std::nullopt;
+}
+
+std::optional<std::size_t> BurstSampler::finish_burst() {
+  const auto n = static_cast<LogicalTime>(burst_trace_.size());
+  const auto intervals = intervals_of_trace(burst_trace_);
+  const ReuseCurve reuse = compute_reuse_all_k(intervals, n);
+  last_mrc_ = mrc_from_reuse(reuse, config_.knee.max_size);
+  last_selection_ = KneeFinder(config_.knee).select(last_mrc_);
+  ++bursts_;
+  sampling_ = false;
+  burst_trace_.clear();
+  burst_trace_.shrink_to_fit();
+  return last_selection_.chosen_size;
+}
+
+KneeResult BurstSampler::analyze_offline(
+    const std::vector<LineAddr>& trace,
+    const std::vector<std::size_t>& boundaries, const KneeConfig& knee,
+    Mrc* mrc_out) {
+  NVC_REQUIRE(!trace.empty());
+  const std::vector<LineAddr> renamed = rename_trace(trace, boundaries);
+  const auto intervals = intervals_of_trace(renamed);
+  const ReuseCurve reuse =
+      compute_reuse_all_k(intervals, static_cast<LogicalTime>(renamed.size()));
+  Mrc mrc = mrc_from_reuse(reuse, knee.max_size);
+  const KneeResult result = KneeFinder(knee).select(mrc);
+  if (mrc_out != nullptr) *mrc_out = std::move(mrc);
+  return result;
+}
+
+}  // namespace nvc::core

@@ -1,0 +1,83 @@
+// Online MRC analysis by bursty sampling (paper Section III-C).
+//
+// Execution is split into bursts and hibernation periods. During a burst the
+// sampler records the FASE-renamed persistent-write trace; at burst end it
+// runs the linear-time reuse analysis, converts to an MRC, and selects a
+// cache size. The paper uses one 64M-write burst and an infinite hibernation
+// ("we found it is sufficient to analyze MRC just once"); both knobs are
+// configurable here, including periodic re-sampling for phase-changing
+// programs (listed as future work in the paper, implemented here as an
+// extension).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/fase_trace.hpp"
+#include "core/knee.hpp"
+#include "core/mrc.hpp"
+#include "core/reuse_locality.hpp"
+
+namespace nvc::core {
+
+struct SamplerConfig {
+  /// Writes per burst. Paper: 64M; defaults here are scaled so the quick
+  /// benchmarks sample meaningfully.
+  std::uint64_t burst_length = 1u << 20;
+  /// Writes to hibernate between bursts; 0 = hibernate forever after the
+  /// first burst (the paper's configuration).
+  std::uint64_t hibernation_length = 0;
+  /// Warmup skipping: delay the first burst until this many FASE boundaries
+  /// have passed (initialization writes usually all sit in the first FASE
+  /// and have a different working set than steady state). Bounded: if no
+  /// boundary arrives within one burst worth of writes, sampling starts
+  /// anyway (after four bursts worth of writes), so single-FASE programs
+  /// still get analyzed. 0 = the paper's sample-from-the-start behavior.
+  std::uint32_t skip_fases = 0;
+  KneeConfig knee;
+};
+
+class BurstSampler {
+ public:
+  explicit BurstSampler(SamplerConfig config = {});
+
+  /// Observe one persistent write. Returns a newly selected cache size when
+  /// this write completes a burst, std::nullopt otherwise.
+  std::optional<std::size_t> on_store(LineAddr line);
+
+  /// Observe a FASE boundary (needed for the renaming transform).
+  void on_fase_boundary();
+
+  bool sampling() const noexcept { return sampling_; }
+  std::uint64_t writes_seen() const noexcept { return writes_seen_; }
+  std::uint64_t burst_length() const noexcept { return config_.burst_length; }
+
+  /// Results of the most recent completed burst (empty before the first).
+  const Mrc& last_mrc() const noexcept { return last_mrc_; }
+  const KneeResult& last_selection() const noexcept { return last_selection_; }
+  std::uint64_t bursts_completed() const noexcept { return bursts_; }
+
+  /// Analyze a complete trace offline and select a size (used by SC-offline
+  /// and by the accuracy experiments). `boundaries` as in rename_trace().
+  static KneeResult analyze_offline(const std::vector<LineAddr>& trace,
+                                    const std::vector<std::size_t>& boundaries,
+                                    const KneeConfig& knee, Mrc* mrc_out);
+
+ private:
+  std::optional<std::size_t> finish_burst();
+
+  SamplerConfig config_;
+  std::uint32_t fases_to_skip_ = 0;
+  std::uint64_t warmup_writes_ = 0;
+  FaseRenamer renamer_;
+  std::vector<LineAddr> burst_trace_;
+  bool sampling_ = true;
+  std::uint64_t hibernated_ = 0;
+  std::uint64_t writes_seen_ = 0;
+  std::uint64_t bursts_ = 0;
+  Mrc last_mrc_;
+  KneeResult last_selection_;
+};
+
+}  // namespace nvc::core

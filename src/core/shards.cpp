@@ -1,0 +1,103 @@
+#include "core/shards.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace nvc::core {
+
+namespace {
+
+/// Fenwick tree over sampled logical time (same structure as the exact
+/// Mattson pass, but only sampled accesses enter it).
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+  void add(std::size_t i, int delta) {
+    for (; i < tree_.size(); i += i & (~i + 1)) tree_[i] += delta;
+  }
+  std::int64_t prefix(std::size_t i) const {
+    std::int64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+std::uint64_t spatial_hash(LineAddr line) {
+  std::uint64_t s = line;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+bool shards_samples(LineAddr line, const ShardsConfig& config) {
+  return spatial_hash(line) % config.modulus < config.threshold;
+}
+
+Mrc mrc_shards(std::span<const LineAddr> trace, std::size_t max_size,
+               const ShardsConfig& config) {
+  NVC_REQUIRE(max_size >= 1);
+  NVC_REQUIRE(config.threshold >= 1 && config.threshold <= config.modulus);
+  const double scale = 1.0 / config.rate();
+
+  // Pass 1: count sampled accesses (to size the Fenwick tree tightly).
+  std::size_t sampled = 0;
+  for (const LineAddr a : trace) {
+    if (shards_samples(a, config)) ++sampled;
+  }
+  std::vector<double> mr(max_size, 1.0);
+  if (sampled == 0) return Mrc(std::move(mr));
+
+  // Pass 2: Mattson over the sampled sub-trace with scaled distances.
+  std::vector<std::uint64_t> distance_hist(max_size + 1, 0);
+  std::uint64_t beyond = 0;
+  std::uint64_t cold = 0;
+  Fenwick marks(sampled);
+  std::unordered_map<LineAddr, std::size_t> last;
+  last.reserve(sampled);
+
+  std::size_t t = 0;  // sampled logical time
+  for (const LineAddr a : trace) {
+    if (!shards_samples(a, config)) continue;
+    ++t;
+    auto [it, inserted] = last.try_emplace(a, t);
+    if (inserted) {
+      ++cold;
+    } else {
+      const std::size_t prev = it->second;
+      const auto between = static_cast<std::uint64_t>(
+          marks.prefix(t - 1) - marks.prefix(prev));
+      // Scale the sampled distance back to full-trace terms. Each of the
+      // `between` other sampled lines stands for 1/R distinct lines; the
+      // reused line itself contributes exactly 1 (E[B] = (D-1)R, so the
+      // unbiased estimate is D = B/R + 1, not (B+1)/R).
+      const auto dist = static_cast<std::uint64_t>(
+          static_cast<double>(between) * scale) + 1;
+      if (dist <= max_size) {
+        ++distance_hist[static_cast<std::size_t>(dist)];
+      } else {
+        ++beyond;
+      }
+      marks.add(prev, -1);
+      it->second = t;
+    }
+    marks.add(t, +1);
+  }
+
+  std::uint64_t hits_within = 0;
+  for (std::size_t c = 1; c <= max_size; ++c) {
+    hits_within += distance_hist[c];
+    const std::uint64_t misses =
+        static_cast<std::uint64_t>(sampled) - hits_within;
+    mr[c - 1] = static_cast<double>(misses) / static_cast<double>(sampled);
+  }
+  (void)beyond;
+  return Mrc(std::move(mr));
+}
+
+}  // namespace nvc::core

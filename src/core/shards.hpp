@@ -1,0 +1,42 @@
+// SHARDS-style sampled reuse-distance MRC construction (Waldspurger et al.,
+// FAST'15 — the paper's reference [44] for the classical, reuse-distance
+// side of the design space).
+//
+// Spatially-hashed sampling: a datum is monitored iff
+// hash(addr) mod P < T, i.e. with rate R = T/P, a property of the address —
+// so every access to a sampled datum is observed. Stack distances measured
+// on the sampled sub-trace are scaled by 1/R to estimate full-trace
+// distances. The paper argues reuse distance is "costly to measure,
+// especially online"; this implementation exists so the claim can be
+// checked quantitatively against the linear-time timescale analysis
+// (bench/ablation_mrc_algorithms).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/mrc.hpp"
+
+namespace nvc::core {
+
+struct ShardsConfig {
+  /// Sampling rate R = threshold / modulus.
+  std::uint64_t threshold = 1;
+  std::uint64_t modulus = 16;
+
+  double rate() const noexcept {
+    return static_cast<double>(threshold) / static_cast<double>(modulus);
+  }
+};
+
+/// Estimate the MRC of fully-associative LRU over `trace` by sampling.
+/// Distances from the sampled sub-trace are scaled by modulus/threshold and
+/// accumulated into the per-size miss counts, which are normalized by the
+/// number of *sampled* accesses (SHARDS' unbiased estimator).
+Mrc mrc_shards(std::span<const LineAddr> trace, std::size_t max_size,
+               const ShardsConfig& config = {});
+
+/// True if SHARDS would monitor this line under `config`.
+bool shards_samples(LineAddr line, const ShardsConfig& config);
+
+}  // namespace nvc::core

@@ -1,0 +1,133 @@
+// The software write-combining cache (paper Sections II-B, III-C).
+//
+// A per-thread, fully associative, LRU-replacement, *resizable* cache of
+// dirty cache-line addresses. Each persistent store inserts its line address;
+// a hit means the write was combined with an earlier one. On eviction (cache
+// full) or at FASE end, the owner flushes the evicted line from the hardware
+// cache to NVRAM.
+//
+// Structure follows the paper: a hash map for O(1) search plus a doubly
+// linked list for O(1) LRU update/insert/delete. The hash map here is a
+// cache-friendly open-addressing table with backward-shift deletion, and the
+// list is intrusive over a pooled node array, so a cache operation touches at
+// most two small allocations-free structures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nvc::core {
+
+/// Receives cache lines that must be written back to NVRAM.
+class FlushSink {
+ public:
+  virtual ~FlushSink() = default;
+  /// Write back (flush) one hardware cache line.
+  virtual void flush_line(LineAddr line) = 0;
+  /// Ordering point: wait until previously issued flushes are durable.
+  virtual void drain() {}
+};
+
+/// Sink that only counts (used when an experiment needs flush ratios only).
+class CountingSink final : public FlushSink {
+ public:
+  void flush_line(LineAddr) override { ++count_; }
+  std::uint64_t count() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+struct WriteCacheStats {
+  std::uint64_t accesses = 0;   // persistent stores observed
+  std::uint64_t hits = 0;       // writes combined with a buffered line
+  std::uint64_t evictions = 0;  // flushes caused by capacity
+  std::uint64_t fase_flushes = 0;  // flushes caused by FASE end
+
+  std::uint64_t misses() const noexcept { return accesses - hits; }
+  std::uint64_t flushes() const noexcept { return evictions + fase_flushes; }
+  double hit_ratio() const noexcept {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+class WriteCache {
+ public:
+  /// `capacity` is the number of line addresses buffered (paper default 8).
+  explicit WriteCache(std::size_t capacity = kDefaultCapacity);
+
+  WriteCache(const WriteCache&) = delete;
+  WriteCache& operator=(const WriteCache&) = delete;
+
+  /// Record a persistent store to `line`. Returns true if the write was
+  /// combined (line already buffered). May evict the LRU line into `sink`.
+  bool access(LineAddr line, FlushSink& sink);
+
+  /// Flush and drop every buffered line (FASE end). Eviction order is LRU
+  /// first, so the most recently written lines stay hot the longest.
+  void flush_all(FlushSink& sink);
+
+  /// Change the capacity. Shrinking evicts LRU lines into `sink`.
+  void resize(std::size_t new_capacity, FlushSink& sink);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return size_; }
+  bool contains(LineAddr line) const noexcept;
+
+  /// Buffered lines from LRU to MRU (test/diagnostic helper).
+  std::vector<LineAddr> lru_order() const;
+
+  const WriteCacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Rough x86 instruction footprint of one cache operation; used by the
+  /// cost model to account for the software cache's instruction overhead
+  /// (paper Table IV: SC executes ~8% more instructions than AT).
+  static constexpr std::uint64_t kInstrPerHit = 18;    // probe + list move
+  static constexpr std::uint64_t kInstrPerInsert = 24; // probe + link
+  static constexpr std::uint64_t kInstrPerEvict = 14;  // unlink + delete
+
+  static constexpr std::size_t kDefaultCapacity = 8;  // paper Section III-C
+  static constexpr std::size_t kMaxCapacity = 4096;   // implementation bound
+
+ private:
+  struct Node {
+    LineAddr line = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  // --- intrusive LRU list over the node pool ---
+  void list_push_front(std::uint32_t idx) noexcept;  // MRU end
+  void list_unlink(std::uint32_t idx) noexcept;
+  void move_to_front(std::uint32_t idx) noexcept;
+
+  // --- open-addressing hash map: line -> node index ---
+  std::uint32_t* hash_slot(LineAddr line) noexcept;
+  std::uint32_t hash_find(LineAddr line) const noexcept;  // node idx or kNil
+  void hash_insert(LineAddr line, std::uint32_t idx);
+  void hash_erase(LineAddr line) noexcept;
+  void rehash(std::size_t min_slots);
+  static std::uint64_t mix(LineAddr line) noexcept;
+
+  std::uint32_t evict_lru(FlushSink& sink);
+
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::uint32_t head_ = kNil;  // MRU
+  std::uint32_t tail_ = kNil;  // LRU
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::vector<std::uint32_t> slots_;  // node indices or kEmptySlot
+  std::size_t slot_mask_ = 0;
+  WriteCacheStats stats_;
+};
+
+}  // namespace nvc::core

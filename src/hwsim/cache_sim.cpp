@@ -1,0 +1,115 @@
+#include "hwsim/cache_sim.hpp"
+
+#include "common/assert.hpp"
+
+namespace nvc::hwsim {
+
+CacheSim::CacheSim(const CacheConfig& config)
+    : sets_(config.size_bytes / kCacheLineSize / config.associativity),
+      ways_(config.associativity),
+      contention_prob_(config.contention_prob),
+      rng_(config.seed) {
+  NVC_REQUIRE(config.associativity > 0);
+  NVC_REQUIRE(sets_ > 0, "cache smaller than one set");
+  NVC_REQUIRE(is_pow2(sets_), "number of sets must be a power of two");
+  ways_storage_.resize(sets_ * ways_);
+}
+
+CacheSim::Way* CacheSim::find(LineAddr line) {
+  const std::size_t set = set_index(line);
+  Way* base = &ways_storage_[set * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line) return &base[w];
+  }
+  return nullptr;
+}
+
+void CacheSim::maybe_inject_contention(std::size_t set) {
+  if (contention_prob_ <= 0.0 || !rng_.chance(contention_prob_)) return;
+  // A co-runner displaced one resident line of this set. Its writeback
+  // happens on the other core's budget; we only lose residency here.
+  Way* base = &ways_storage_[set * ways_];
+  std::size_t valid_count = 0;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid) ++valid_count;
+  }
+  if (valid_count == 0) return;
+  std::size_t pick = rng_.below(valid_count);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) continue;
+    if (pick-- == 0) {
+      base[w].valid = false;
+      base[w].dirty = false;
+      return;
+    }
+  }
+}
+
+bool CacheSim::access(LineAddr line, bool is_write) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::size_t set = set_index(line);
+  maybe_inject_contention(set);
+
+  if (Way* hit = find(line)) {
+    ++stats_.hits;
+    hit->lru = clock_;
+    hit->dirty = hit->dirty || is_write;
+    return true;
+  }
+
+  ++stats_.misses;
+  // Choose a victim: an invalid way if any, else the LRU way.
+  Way* base = &ways_storage_[set * ways_];
+  Way* victim = &base[0];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = clock_;
+  victim->dirty = is_write;
+  return false;
+}
+
+bool CacheSim::clflush(LineAddr line) {
+  ++stats_.flush_ops;
+  Way* way = find(line);
+  if (way == nullptr) return false;
+  if (way->dirty) ++stats_.flush_writebacks;
+  way->valid = false;
+  way->dirty = false;
+  return true;
+}
+
+bool CacheSim::clwb(LineAddr line) {
+  ++stats_.flush_ops;
+  Way* way = find(line);
+  if (way == nullptr) return false;
+  if (way->dirty) ++stats_.flush_writebacks;
+  way->dirty = false;
+  return true;
+}
+
+void CacheSim::clear() {
+  for (auto& w : ways_storage_) w = Way{};
+}
+
+bool CacheSim::contains(LineAddr line) const {
+  const std::size_t set = set_index(line);
+  const Way* base = &ways_storage_[set * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line) return true;
+  }
+  return false;
+}
+
+}  // namespace nvc::hwsim

@@ -1,0 +1,93 @@
+// Set-associative, write-back, write-allocate LRU hardware cache simulator.
+//
+// Used as the "L1 data cache" of the deterministic cost model that stands in
+// for the paper's 60-core Xeon when reproducing the thread-scaling
+// experiments (Fig. 5/6, Table IV). It models the two effects the paper
+// measures:
+//   * a clflush evicts-and-invalidates the line, so the next access misses
+//     (the *indirect* cost of flushing, Section II-A);
+//   * cache contention from co-running threads, injected as a configurable
+//     per-access probability of losing a random line from the accessed set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nvc::hwsim {
+
+struct CacheConfig {
+  std::size_t size_bytes = 32 * 1024;  // L1D default
+  std::size_t associativity = 8;
+  /// Per-access probability that contention invalidates one random way of
+  /// the accessed set (models co-runner interference / OS scheduling noise).
+  double contention_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;        // dirty evictions (capacity/conflict)
+  std::uint64_t flush_writebacks = 0;  // dirty lines written back by clflush
+  std::uint64_t flush_ops = 0;
+
+  double miss_ratio() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheConfig& config = {});
+
+  /// Access one cache line; returns true on hit. Write accesses mark the
+  /// line dirty.
+  bool access(LineAddr line, bool is_write);
+
+  /// clflush semantics: write back if dirty and invalidate. Returns true if
+  /// the line was present (and therefore actually evicted).
+  bool clflush(LineAddr line);
+
+  /// clwb semantics: write back if dirty, line stays resident and clean.
+  bool clwb(LineAddr line);
+
+  /// Invalidate everything without counting writebacks (test helper).
+  void clear();
+
+  bool contains(LineAddr line) const;
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  std::size_t num_sets() const noexcept { return sets_; }
+  std::size_t associativity() const noexcept { return ways_; }
+
+ private:
+  struct Way {
+    LineAddr tag = 0;
+    std::uint64_t lru = 0;  // last-touch stamp
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_index(LineAddr line) const noexcept {
+    return static_cast<std::size_t>(line) & (sets_ - 1);
+  }
+  Way* find(LineAddr line);
+  void maybe_inject_contention(std::size_t set);
+
+  std::size_t sets_;
+  std::size_t ways_;
+  double contention_prob_;
+  std::vector<Way> ways_storage_;  // sets_ * ways_, row-major by set
+  std::uint64_t clock_ = 0;
+  CacheStats stats_;
+  Rng rng_;
+};
+
+}  // namespace nvc::hwsim

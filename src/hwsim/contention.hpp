@@ -1,0 +1,27 @@
+// Thread-count-dependent L1 contention levels.
+//
+// On the paper's 60-core machine each thread owns an L1, yet measured L1 miss
+// ratios of even the flush-free BEST configuration rise with thread count
+// (Table IV: 20% at 1 thread -> 71% at 32), which the authors attribute to
+// co-runner interference and OS task scheduling. We reproduce that
+// environmental effect as a per-access probability of losing a random way
+// in the accessed set, growing with the number of co-running threads.
+#pragma once
+
+#include <cstddef>
+
+namespace nvc::hwsim {
+
+/// Contention-injection probability for a run with `threads` threads.
+/// Calibrated so the BEST configuration's simulated L1 miss ratio follows
+/// the paper's Table IV trend for water-spatial.
+inline double contention_for_threads(std::size_t threads) {
+  if (threads <= 1) return 0.0;
+  if (threads <= 2) return 0.02;
+  if (threads <= 4) return 0.05;
+  if (threads <= 8) return 0.12;
+  if (threads <= 16) return 0.18;
+  return 0.25;
+}
+
+}  // namespace nvc::hwsim

@@ -1,0 +1,75 @@
+#include "hwsim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace nvc::hwsim {
+
+CacheConfig CoreSim::default_l2(const CacheConfig& l1_config) {
+  CacheConfig l2 = l1_config;
+  l2.size_bytes = l1_config.size_bytes * 8;
+  l2.seed = l1_config.seed * 31 + 7;
+  return l2;
+}
+
+CoreSim::CoreSim(const CostParams& params, const CacheConfig& l1_config)
+    : params_(params), l1_(l1_config), l2_(default_l2(l1_config)) {}
+
+void CoreSim::execute(std::uint64_t n) {
+  counters_.instructions += n;
+  cycles_ += static_cast<double>(n) * params_.cpi;
+}
+
+void CoreSim::memory_access(LineAddr line, bool is_write) {
+  counters_.instructions += 1;
+  cycles_ += params_.cpi;
+  if (l1_.access(line, is_write)) return;
+  if (!params_.enable_l2) {
+    cycles_ += static_cast<double>(params_.l1_miss_penalty);
+    return;
+  }
+  // Inclusive two-level hierarchy: an L1 miss probes the private L2.
+  if (l2_.access(line, is_write)) {
+    cycles_ += static_cast<double>(params_.l2_hit_penalty);
+  } else {
+    cycles_ += static_cast<double>(params_.l2_hit_penalty +
+                                   params_.memory_penalty);
+  }
+}
+
+void CoreSim::flush(LineAddr line) {
+  ++counters_.flushes;
+  if (params_.invalidate_on_flush) {
+    l1_.clflush(line);
+    if (params_.enable_l2) l2_.clflush(line);
+  } else {
+    l1_.clwb(line);
+    if (params_.enable_l2) l2_.clwb(line);
+  }
+  cycles_ += static_cast<double>(params_.flush_issue);
+
+  // The NVRAM write engine services flushes asynchronously but serially.
+  const double start = std::max(cycles_, engine_free_);
+  engine_free_ = start + static_cast<double>(params_.nvram_write);
+
+  // Bounded backlog: once more than max_backlog writes are outstanding the
+  // core stalls until the backlog shrinks (write-combining buffer pressure).
+  const double backlog_limit =
+      static_cast<double>(params_.max_backlog * params_.nvram_write);
+  if (engine_free_ - cycles_ > backlog_limit) {
+    const double stall = engine_free_ - cycles_ - backlog_limit;
+    counters_.stall_cycles += static_cast<std::uint64_t>(stall);
+    cycles_ += stall;
+  }
+}
+
+void CoreSim::drain() {
+  ++counters_.fences;
+  if (engine_free_ > cycles_) {
+    counters_.stall_cycles +=
+        static_cast<std::uint64_t>(engine_free_ - cycles_);
+    cycles_ = engine_free_;
+  }
+  cycles_ += static_cast<double>(params_.fence);
+}
+
+}  // namespace nvc::hwsim

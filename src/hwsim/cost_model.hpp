@@ -1,0 +1,95 @@
+// Deterministic per-core cycle cost model.
+//
+// The paper times its techniques on a 60-core Xeon emulator; this host has a
+// single core, so the thread-scaling experiments (Fig. 5/6, Table IV) are
+// replayed through this model instead (see DESIGN.md substitution table).
+// The model charges, per simulated core:
+//
+//   * instruction cost       — executed instructions x CPI;
+//   * L1 miss penalty        — from the CacheSim, including the *indirect*
+//                              flush cost (clflush invalidation => re-miss);
+//   * flush issue + drain    — an asynchronous NVRAM write engine with
+//                              bounded backlog: mid-FASE flushes overlap
+//                              computation (the eager benefit), but the
+//                              engine's bandwidth bounds the overlap, and a
+//                              FASE-end fence drains the backlog (the lazy
+//                              penalty).
+#pragma once
+
+#include <cstdint>
+
+#include "hwsim/cache_sim.hpp"
+
+namespace nvc::hwsim {
+
+struct CostParams {
+  double cpi = 1.0;                   // base cycles per instruction
+  /// Penalty for an L1 miss that hits in L2, and for a miss in both levels.
+  std::uint64_t l2_hit_penalty = 12;
+  std::uint64_t memory_penalty = 60;
+  /// Legacy single-level penalty, used when the L2 is disabled.
+  std::uint64_t l1_miss_penalty = 30;
+  bool enable_l2 = true;
+  /// Core-occupied cycles per clflush. Calibrated to the paper's hardware:
+  /// a serializing clflush on a 2.8 GHz Xeon E7 costs O(100 ns) of core
+  /// time before the asynchronous memory-side write completes.
+  std::uint64_t flush_issue = 300;
+  std::uint64_t nvram_write = 500;    // engine cycles per line written back
+  std::uint64_t fence = 80;           // sfence / drain-ordering cost
+  /// Outstanding NVRAM writes the core may run ahead of. Atlas issues
+  /// *ordered* clflush, which overlaps very little — hence a small window.
+  std::uint64_t max_backlog = 2;
+  /// clflush semantics (true): the flushed line is invalidated, so the next
+  /// access re-misses — the *indirect* cost of flushing (paper Section
+  /// II-A). clwb semantics (false): the line stays resident and clean; the
+  /// paper notes Atlas avoids clwb for cross-thread staleness visibility.
+  bool invalidate_on_flush = true;
+};
+
+struct CoreCounters {
+  std::uint64_t instructions = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t stall_cycles = 0;  // cycles blocked on engine backlog/drains
+};
+
+/// One simulated core: a cycle clock, an L1 + private L2 model, and an
+/// NVRAM write engine.
+class CoreSim {
+ public:
+  explicit CoreSim(const CostParams& params = {},
+                   const CacheConfig& l1_config = {});
+
+  /// Default private-L2 configuration derived from the L1's (8x capacity,
+  /// same contention level — co-runners pollute both levels).
+  static CacheConfig default_l2(const CacheConfig& l1_config);
+
+  /// Retire `n` instructions of ordinary computation.
+  void execute(std::uint64_t n);
+
+  /// A data access to persistent memory (runs through the L1 model).
+  void memory_access(LineAddr line, bool is_write);
+
+  /// Issue clflush for a line: L1 invalidation + async NVRAM write.
+  void flush(LineAddr line);
+
+  /// Fence: wait until the NVRAM engine backlog drains (FASE-end stall).
+  void drain();
+
+  double cycles() const noexcept { return cycles_; }
+  const CoreCounters& counters() const noexcept { return counters_; }
+  const CacheStats& l1_stats() const noexcept { return l1_.stats(); }
+  const CacheStats& l2_stats() const noexcept { return l2_.stats(); }
+  CacheSim& l1() noexcept { return l1_; }
+  CacheSim& l2() noexcept { return l2_; }
+
+ private:
+  CostParams params_;
+  CacheSim l1_;
+  CacheSim l2_;
+  double cycles_ = 0.0;
+  double engine_free_ = 0.0;  // time when the NVRAM write engine is idle
+  CoreCounters counters_;
+};
+
+}  // namespace nvc::hwsim

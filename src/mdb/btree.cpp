@@ -1,0 +1,620 @@
+#include "mdb/btree.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvc::mdb {
+
+namespace {
+constexpr std::uint64_t kMetaMagic = 0x4d44424d45544121ULL;  // "MDBMETA!"
+constexpr std::size_t kNodeHeader = 8;
+constexpr std::size_t kLeafCap = (kPageSize - kNodeHeader) / 16;       // 255
+constexpr std::size_t kIntCap = (kPageSize - kNodeHeader - 4) / 12;    // 340
+}  // namespace
+
+struct Db::Meta {
+  std::uint64_t magic;
+  TxnId txn;
+  PageNo root;
+  PageNo next_page;
+  std::uint64_t checksum;  // guards against a torn meta write at a crash
+
+  std::uint64_t expected_checksum() const noexcept {
+    std::uint64_t x = magic ^ (txn * 0x9e3779b97f4a7c15ULL) ^
+                      (std::uint64_t{root} << 32) ^ next_page;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+  bool intact() const noexcept {
+    return magic == kMetaMagic && checksum == expected_checksum();
+  }
+};
+
+struct Db::Node {
+  std::uint16_t is_leaf;
+  std::uint16_t n;
+  std::uint32_t pad;
+
+  Key* keys() noexcept { return reinterpret_cast<Key*>(this + 1); }
+  const Key* keys() const noexcept {
+    return reinterpret_cast<const Key*>(this + 1);
+  }
+  /// Leaf values live after the key array.
+  Value* vals() noexcept { return reinterpret_cast<Value*>(keys() + kLeafCap); }
+  const Value* vals() const noexcept {
+    return reinterpret_cast<const Value*>(keys() + kLeafCap);
+  }
+  /// Internal children live after the (larger) internal key array.
+  PageNo* children() noexcept {
+    return reinterpret_cast<PageNo*>(keys() + kIntCap);
+  }
+  const PageNo* children() const noexcept {
+    return reinterpret_cast<const PageNo*>(keys() + kIntCap);
+  }
+
+  /// First index with keys[i] >= key.
+  std::size_t lower_bound(Key key) const noexcept {
+    return static_cast<std::size_t>(
+        std::lower_bound(keys(), keys() + n, key) - keys());
+  }
+};
+
+static_assert(kLeafCap * 16 + kNodeHeader <= kPageSize);
+static_assert(kIntCap * 12 + 4 + kNodeHeader <= kPageSize);
+
+Db::Db(workloads::PersistApi& api, std::size_t max_pages)
+    : api_(api), max_pages_(max_pages), next_page_(2) {
+  NVC_REQUIRE(max_pages >= 8);
+  slab_ = static_cast<char*>(api_.alloc(0, max_pages * kPageSize));
+  page_txn_.assign(max_pages, 0);
+
+  workloads::ApiFase fase(api_, 0);
+  for (int slot = 0; slot < 2; ++slot) {
+    auto* meta = reinterpret_cast<Meta*>(slab_ + slot * kPageSize);
+    meta->magic = kMetaMagic;
+    meta->txn = 0;
+    meta->root = kNoPage;
+    meta->next_page = 2;
+    meta->checksum = meta->expected_checksum();
+    api_.wrote(0, meta, sizeof(Meta));
+  }
+  api_.persist_barrier(0);
+}
+
+Db::Node* Db::node(PageNo page) const {
+  NVC_ASSERT(page >= 2 && page < next_page_.load(std::memory_order_relaxed));
+  return reinterpret_cast<Node*>(slab_ + std::size_t{page} * kPageSize);
+}
+
+const Db::Meta* Db::newest_meta() const {
+  const auto* m0 = reinterpret_cast<const Meta*>(slab_);
+  const auto* m1 = reinterpret_cast<const Meta*>(slab_ + kPageSize);
+  if (!m0->intact()) return m1;
+  if (!m1->intact()) return m0;
+  return m0->txn >= m1->txn ? m0 : m1;
+}
+
+PageNo Db::alloc_page(std::size_t tid, TxnId txn) {
+  (void)tid;
+  // Reuse the oldest freed page if (a) the freeing txn has committed and one
+  // more commit has happened since (the alternating meta must stay valid),
+  // and (b) no live reader might still traverse it.
+  if (!freelist_.empty()) {
+    TxnId oldest_reader = ~TxnId{0};
+    {
+      std::lock_guard<std::mutex> lock(reader_mutex_);
+      if (!active_readers_.empty()) oldest_reader = *active_readers_.begin();
+    }
+    const auto& [freed_txn, page] = freelist_.front();
+    if (freed_txn + 1 <= last_committed_ && oldest_reader >= freed_txn) {
+      const PageNo reusable = page;
+      freelist_.erase(freelist_.begin());
+      ++stats_.page_reuses;
+      page_txn_[reusable] = txn;
+      return reusable;
+    }
+  }
+  const PageNo frontier = next_page_.load(std::memory_order_relaxed);
+  NVC_REQUIRE(frontier < max_pages_, "MDB slab exhausted");
+  next_page_.store(frontier + 1, std::memory_order_relaxed);
+  const PageNo fresh = frontier;
+  ++stats_.page_allocs;
+  page_txn_[fresh] = txn;
+  return fresh;
+}
+
+// --- ReadTxn ------------------------------------------------------------------
+
+Db::ReadTxn Db::begin_read() const {
+  std::lock_guard<std::mutex> lock(reader_mutex_);
+  const Meta* meta = newest_meta();
+  active_readers_.insert(meta->txn);
+  return ReadTxn(this, meta->root, meta->txn);
+}
+
+void Db::release_readers(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(reader_mutex_);
+  const auto it = active_readers_.find(txn);
+  if (it != active_readers_.end()) active_readers_.erase(it);
+}
+
+Db::ReadTxn::~ReadTxn() {
+  if (db_ != nullptr) db_->release_readers(txn_);
+}
+
+Db::ReadTxn::ReadTxn(ReadTxn&& other) noexcept
+    : db_(other.db_), root_(other.root_), txn_(other.txn_) {
+  other.db_ = nullptr;
+}
+
+std::optional<Value> Db::ReadTxn::get(Key key) const {
+  PageNo page = root_;
+  if (page == kNoPage) return std::nullopt;
+  for (;;) {
+    const Node* nd = db_->node(page);
+    if (nd->is_leaf) {
+      const std::size_t i = nd->lower_bound(key);
+      if (i < nd->n && nd->keys()[i] == key) return nd->vals()[i];
+      return std::nullopt;
+    }
+    std::size_t i = nd->lower_bound(key);
+    if (i < nd->n && nd->keys()[i] == key) ++i;  // separator = first of right
+    page = nd->children()[i];
+  }
+}
+
+std::size_t Db::ReadTxn::scan(Key from, std::size_t limit,
+                              void (*visit)(Key, Value, void*),
+                              void* arg) const {
+  if (root_ == kNoPage || limit == 0) return 0;
+  // Iterative DFS with an explicit stack of (page, next child index).
+  struct Frame {
+    PageNo page;
+    std::size_t idx;
+  };
+  std::vector<Frame> stack;
+  std::size_t visited = 0;
+  stack.push_back({root_, 0});
+  // Position the stack at the first leaf entry >= from.
+  while (!stack.empty() && visited < limit) {
+    Frame& top = stack.back();
+    const Node* nd = db_->node(top.page);
+    if (nd->is_leaf) {
+      std::size_t i = (visited == 0) ? nd->lower_bound(from) : 0;
+      for (; i < nd->n && visited < limit; ++i) {
+        if (nd->keys()[i] < from) continue;
+        if (visit != nullptr) visit(nd->keys()[i], nd->vals()[i], arg);
+        ++visited;
+      }
+      stack.pop_back();
+      continue;
+    }
+    if (top.idx > nd->n) {
+      stack.pop_back();
+      continue;
+    }
+    std::size_t child_idx = top.idx;
+    if (top.idx == 0 && visited == 0) {
+      // Descend directly toward `from` on the initial path.
+      child_idx = nd->lower_bound(from);
+      if (child_idx < nd->n && nd->keys()[child_idx] == from) ++child_idx;
+      top.idx = child_idx + 1;
+    } else {
+      ++top.idx;
+    }
+    stack.push_back({nd->children()[child_idx], 0});
+  }
+  return visited;
+}
+
+std::size_t Db::ReadTxn::count() const {
+  if (root_ == kNoPage) return 0;
+  // Simple recursive count via an explicit stack.
+  std::vector<PageNo> stack{root_};
+  std::size_t total = 0;
+  while (!stack.empty()) {
+    const PageNo page = stack.back();
+    stack.pop_back();
+    const Node* nd = db_->node(page);
+    if (nd->is_leaf) {
+      total += nd->n;
+    } else {
+      for (std::size_t i = 0; i <= nd->n; ++i) {
+        stack.push_back(nd->children()[i]);
+      }
+    }
+  }
+  return total;
+}
+
+// --- WriteTxn ------------------------------------------------------------------
+
+Db::WriteTxn Db::begin_write(std::size_t tid) {
+  writer_mutex_.lock();  // released by commit()/abort()
+  return WriteTxn(this, tid);
+}
+
+Db::WriteTxn::WriteTxn(Db* db, std::size_t tid) : db_(db), tid_(tid) {
+  const Meta* meta = db_->newest_meta();
+  root_ = meta->root;
+  txn_ = meta->txn + 1;
+  db_->api_.fase_begin(tid_);
+}
+
+Db::WriteTxn::~WriteTxn() {
+  if (open_) abort();
+}
+
+Db::WriteTxn::WriteTxn(WriteTxn&& other) noexcept
+    : db_(other.db_), tid_(other.tid_), root_(other.root_), txn_(other.txn_),
+      allocated_(std::move(other.allocated_)),
+      freed_(std::move(other.freed_)), open_(other.open_) {
+  other.open_ = false;
+  other.db_ = nullptr;
+}
+
+PageNo Db::WriteTxn::cow(PageNo page) {
+  if (db_->page_txn_[page] == txn_) return page;  // already ours
+  const PageNo copy = db_->alloc_page(tid_, txn_);
+  std::memcpy(db_->node(copy), db_->node(page), kPageSize);
+  // Report the copy at store-instruction granularity (one 8-byte store per
+  // word) over the *used* regions of the node — what Atlas' instrumentation
+  // would see from copying the live content. The per-line repetition is the
+  // write-combining opportunity the paper measures on MDB (~652 stores per
+  // FASE).
+  const Node* nd = db_->node(copy);
+  auto report = [&](const void* base, std::size_t len) {
+    const char* p = static_cast<const char*>(base);
+    for (std::size_t off = 0; off < len; off += 8) {
+      db_->api_.wrote(tid_, p + off, 8);
+    }
+  };
+  report(nd, kNodeHeader + nd->n * sizeof(Key));  // header + key prefix
+  if (nd->is_leaf) {
+    report(nd->vals(), nd->n * sizeof(Value));
+  } else {
+    report(nd->children(), (nd->n + 1) * sizeof(PageNo));
+  }
+  ++db_->stats_.page_copies;
+  allocated_.push_back(copy);
+  freed_.push_back(page);
+  return copy;
+}
+
+std::optional<Value> Db::WriteTxn::get(Key key) const {
+  PageNo page = root_;
+  if (page == kNoPage) return std::nullopt;
+  for (;;) {
+    const Node* nd = db_->node(page);
+    if (nd->is_leaf) {
+      const std::size_t i = nd->lower_bound(key);
+      if (i < nd->n && nd->keys()[i] == key) return nd->vals()[i];
+      return std::nullopt;
+    }
+    std::size_t i = nd->lower_bound(key);
+    if (i < nd->n && nd->keys()[i] == key) ++i;
+    page = nd->children()[i];
+  }
+}
+
+void Db::WriteTxn::put(Key key, Value value) {
+  NVC_REQUIRE(open_, "txn already finished");
+  ++db_->stats_.puts;
+  if (root_ == kNoPage) {
+    root_ = db_->alloc_page(tid_, txn_);
+    allocated_.push_back(root_);
+    Node* leaf = db_->node(root_);
+    std::memset(leaf, 0, kNodeHeader);
+    leaf->is_leaf = 1;
+    leaf->n = 1;
+    leaf->keys()[0] = key;
+    leaf->vals()[0] = value;
+    db_->api_.wrote(tid_, leaf, kNodeHeader);
+    db_->api_.wrote(tid_, &leaf->keys()[0], sizeof(Key));
+    db_->api_.wrote(tid_, &leaf->vals()[0], sizeof(Value));
+    return;
+  }
+  root_ = cow(root_);
+  Key promoted = 0;
+  PageNo right = kNoPage;
+  insert_rec(root_, key, value, &promoted, &right);
+  if (right != kNoPage) {
+    // Root split: grow the tree by one level.
+    const PageNo new_root = db_->alloc_page(tid_, txn_);
+    allocated_.push_back(new_root);
+    Node* nr = db_->node(new_root);
+    std::memset(nr, 0, kNodeHeader);
+    nr->is_leaf = 0;
+    nr->n = 1;
+    nr->keys()[0] = promoted;
+    nr->children()[0] = root_;
+    nr->children()[1] = right;
+    db_->api_.wrote(tid_, nr, kNodeHeader);
+    db_->api_.wrote(tid_, &nr->keys()[0], sizeof(Key));
+    db_->api_.wrote(tid_, &nr->children()[0], 2 * sizeof(PageNo));
+    root_ = new_root;
+  }
+}
+
+void Db::WriteTxn::insert_rec(PageNo page, Key key, Value value,
+                              Key* promoted, PageNo* right) {
+  Node* nd = db_->node(page);
+  auto& api = db_->api_;
+  *right = kNoPage;
+
+  if (nd->is_leaf) {
+    const std::size_t i = nd->lower_bound(key);
+    if (i < nd->n && nd->keys()[i] == key) {
+      nd->vals()[i] = value;  // overwrite
+      api.wrote(tid_, &nd->vals()[i], sizeof(Value));
+      return;
+    }
+    // Shift and insert.
+    std::memmove(&nd->keys()[i + 1], &nd->keys()[i],
+                 (nd->n - i) * sizeof(Key));
+    std::memmove(&nd->vals()[i + 1], &nd->vals()[i],
+                 (nd->n - i) * sizeof(Value));
+    nd->keys()[i] = key;
+    nd->vals()[i] = value;
+    ++nd->n;
+    api.wrote(tid_, nd, kNodeHeader);
+    api.wrote(tid_, &nd->keys()[i], (nd->n - i) * sizeof(Key));
+    api.wrote(tid_, &nd->vals()[i], (nd->n - i) * sizeof(Value));
+
+    if (nd->n < kLeafCap) return;
+    // Split the full leaf.
+    const PageNo rp = db_->alloc_page(tid_, txn_);
+    allocated_.push_back(rp);
+    Node* rn = db_->node(rp);
+    std::memset(rn, 0, kNodeHeader);
+    rn->is_leaf = 1;
+    const std::size_t half = nd->n / 2;
+    rn->n = static_cast<std::uint16_t>(nd->n - half);
+    std::memcpy(rn->keys(), &nd->keys()[half], rn->n * sizeof(Key));
+    std::memcpy(rn->vals(), &nd->vals()[half], rn->n * sizeof(Value));
+    nd->n = static_cast<std::uint16_t>(half);
+    api.wrote(tid_, nd, kNodeHeader);
+    api.wrote(tid_, rn, kNodeHeader);
+    api.wrote(tid_, rn->keys(), rn->n * sizeof(Key));
+    api.wrote(tid_, rn->vals(), rn->n * sizeof(Value));
+    *promoted = rn->keys()[0];
+    *right = rp;
+    return;
+  }
+
+  // Internal node: descend with COW, then absorb a possible child split.
+  std::size_t i = nd->lower_bound(key);
+  if (i < nd->n && nd->keys()[i] == key) ++i;
+  const PageNo child = cow(nd->children()[i]);
+  if (child != nd->children()[i]) {
+    nd->children()[i] = child;
+    api.wrote(tid_, &nd->children()[i], sizeof(PageNo));
+  }
+  Key child_promoted = 0;
+  PageNo child_right = kNoPage;
+  insert_rec(child, key, value, &child_promoted, &child_right);
+  if (child_right == kNoPage) return;
+
+  std::memmove(&nd->keys()[i + 1], &nd->keys()[i], (nd->n - i) * sizeof(Key));
+  std::memmove(&nd->children()[i + 2], &nd->children()[i + 1],
+               (nd->n - i) * sizeof(PageNo));
+  nd->keys()[i] = child_promoted;
+  nd->children()[i + 1] = child_right;
+  ++nd->n;
+  api.wrote(tid_, nd, kNodeHeader);
+  api.wrote(tid_, &nd->keys()[i], (nd->n - i) * sizeof(Key));
+  api.wrote(tid_, &nd->children()[i + 1], (nd->n - i) * sizeof(PageNo));
+
+  if (nd->n < kIntCap) return;
+  // Split the full internal node.
+  const PageNo rp = db_->alloc_page(tid_, txn_);
+  allocated_.push_back(rp);
+  Node* rn = db_->node(rp);
+  std::memset(rn, 0, kNodeHeader);
+  rn->is_leaf = 0;
+  const std::size_t half = nd->n / 2;
+  *promoted = nd->keys()[half];
+  rn->n = static_cast<std::uint16_t>(nd->n - half - 1);
+  std::memcpy(rn->keys(), &nd->keys()[half + 1], rn->n * sizeof(Key));
+  std::memcpy(rn->children(), &nd->children()[half + 1],
+              (rn->n + 1) * sizeof(PageNo));
+  nd->n = static_cast<std::uint16_t>(half);
+  api.wrote(tid_, nd, kNodeHeader);
+  api.wrote(tid_, rn, kNodeHeader);
+  api.wrote(tid_, rn->keys(), rn->n * sizeof(Key));
+  api.wrote(tid_, rn->children(), (rn->n + 1) * sizeof(PageNo));
+  *right = rp;
+}
+
+bool Db::WriteTxn::del(Key key) {
+  NVC_REQUIRE(open_, "txn already finished");
+  if (root_ == kNoPage) return false;
+  root_ = cow(root_);
+  const bool existed = delete_rec(root_, key);
+  if (existed) ++db_->stats_.deletes;
+  return existed;
+}
+
+bool Db::WriteTxn::delete_rec(PageNo page, Key key) {
+  Node* nd = db_->node(page);
+  auto& api = db_->api_;
+  if (nd->is_leaf) {
+    const std::size_t i = nd->lower_bound(key);
+    if (i >= nd->n || nd->keys()[i] != key) return false;
+    std::memmove(&nd->keys()[i], &nd->keys()[i + 1],
+                 (nd->n - i - 1) * sizeof(Key));
+    std::memmove(&nd->vals()[i], &nd->vals()[i + 1],
+                 (nd->n - i - 1) * sizeof(Value));
+    --nd->n;
+    api.wrote(tid_, nd, kNodeHeader);
+    if (nd->n > i) {
+      api.wrote(tid_, &nd->keys()[i], (nd->n - i) * sizeof(Key));
+      api.wrote(tid_, &nd->vals()[i], (nd->n - i) * sizeof(Value));
+    }
+    return true;
+  }
+  std::size_t i = nd->lower_bound(key);
+  if (i < nd->n && nd->keys()[i] == key) ++i;
+  const PageNo child = cow(nd->children()[i]);
+  if (child != nd->children()[i]) {
+    nd->children()[i] = child;
+    api.wrote(tid_, &nd->children()[i], sizeof(PageNo));
+  }
+  // Lazy deletion: leaves may run empty; no rebalancing (scans skip them).
+  return delete_rec(child, key);
+}
+
+void Db::WriteTxn::commit() {
+  NVC_REQUIRE(open_, "txn already finished");
+  open_ = false;
+  Db* db = db_;
+  auto& api = db->api_;
+
+  // Durability point 1 (LMDB's data fsync): every page this transaction
+  // wrote must be durable before the meta can point at it. A crash after
+  // this barrier but before the meta flush leaves the old tree intact.
+  api.persist_barrier(tid_);
+
+  {
+    // Publish the new root in the older meta slot; guarded by reader_mutex_
+    // so begin_read never sees a half-written meta.
+    std::lock_guard<std::mutex> lock(db->reader_mutex_);
+    auto* meta = reinterpret_cast<Meta*>(db->slab_ +
+                                         (txn_ % 2) * kPageSize);
+    meta->magic = kMetaMagic;
+    meta->txn = txn_;
+    meta->root = root_;
+    meta->next_page = db->next_page_.load(std::memory_order_relaxed);
+    meta->checksum = meta->expected_checksum();
+    api.wrote(tid_, meta, sizeof(Meta));
+    db->last_committed_ = txn_;
+  }
+  for (const PageNo page : freed_) {
+    db->freelist_.emplace_back(txn_, page);
+  }
+  ++db->stats_.commits;
+  api.fase_end(tid_);  // FASE end: the policy flushes, then the commit record
+  db->writer_mutex_.unlock();
+}
+
+void Db::WriteTxn::abort() {
+  NVC_REQUIRE(open_, "txn already finished");
+  open_ = false;
+  Db* db = db_;
+  // Give back everything we allocated; the committed tree never saw it.
+  for (const PageNo page : allocated_) {
+    db->page_txn_[page] = 0;
+    db->freelist_.emplace_back(0, page);
+  }
+  db->api_.fase_end(tid_);
+  db->writer_mutex_.unlock();
+}
+
+// --- recovery-side image reader ---------------------------------------------------
+
+Db::ImageContents Db::read_image(const void* slab, std::size_t bytes) {
+  NVC_REQUIRE(bytes >= 2 * kPageSize, "image too small for meta pages");
+  const char* base = static_cast<const char*>(slab);
+  const auto* m0 = reinterpret_cast<const Meta*>(base);
+  const auto* m1 = reinterpret_cast<const Meta*>(base + kPageSize);
+  const Meta* meta = nullptr;
+  if (m0->intact() && m1->intact()) {
+    meta = m0->txn >= m1->txn ? m0 : m1;
+  } else if (m0->intact()) {
+    meta = m0;
+  } else if (m1->intact()) {
+    meta = m1;
+  }
+  NVC_REQUIRE(meta != nullptr, "no intact meta page in image");
+
+  ImageContents out;
+  out.txn = meta->txn;
+  if (meta->root == kNoPage) return out;
+
+  const std::size_t num_pages = bytes / kPageSize;
+  auto node_at = [&](PageNo page) -> const Node* {
+    NVC_REQUIRE(page >= 2 && page < num_pages, "page out of image bounds");
+    return reinterpret_cast<const Node*>(base + std::size_t{page} *
+                                                    kPageSize);
+  };
+
+  struct Frame {
+    PageNo page;
+    Key lo;
+    Key hi;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{meta->root, 0, ~Key{0}, 0}};
+  std::size_t leaf_depth = ~std::size_t{0};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node* nd = node_at(f.page);
+    for (std::size_t i = 1; i < nd->n; ++i) {
+      NVC_REQUIRE(nd->keys()[i - 1] < nd->keys()[i],
+                  "image keys out of order");
+    }
+    for (std::size_t i = 0; i < nd->n; ++i) {
+      NVC_REQUIRE(nd->keys()[i] >= f.lo && nd->keys()[i] <= f.hi,
+                  "image key outside separator range");
+    }
+    if (nd->is_leaf) {
+      NVC_REQUIRE(nd->is_leaf == 1, "corrupt leaf flag");
+      if (leaf_depth == ~std::size_t{0}) leaf_depth = f.depth;
+      NVC_REQUIRE(leaf_depth == f.depth, "image leaves at different depths");
+      for (std::size_t i = 0; i < nd->n; ++i) {
+        out.pairs.emplace(nd->keys()[i], nd->vals()[i]);
+      }
+    } else {
+      NVC_REQUIRE(nd->n >= 1, "image internal node without separators");
+      for (std::size_t i = 0; i <= nd->n; ++i) {
+        const Key lo = i == 0 ? f.lo : nd->keys()[i - 1];
+        const Key hi = i == nd->n ? f.hi : nd->keys()[i];
+        stack.push_back({nd->children()[i], lo, hi, f.depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+// --- invariants -----------------------------------------------------------------
+
+void Db::check_invariants() const {
+  const Meta* meta = newest_meta();
+  if (meta->root == kNoPage) return;
+  struct Frame {
+    PageNo page;
+    Key lo;
+    Key hi;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{meta->root, 0, ~Key{0}, 0}};
+  std::size_t leaf_depth = ~std::size_t{0};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node* nd = node(f.page);
+    for (std::size_t i = 1; i < nd->n; ++i) {
+      NVC_REQUIRE(nd->keys()[i - 1] < nd->keys()[i], "keys out of order");
+    }
+    for (std::size_t i = 0; i < nd->n; ++i) {
+      NVC_REQUIRE(nd->keys()[i] >= f.lo && nd->keys()[i] <= f.hi,
+                  "key outside separator range");
+    }
+    if (nd->is_leaf) {
+      if (leaf_depth == ~std::size_t{0}) leaf_depth = f.depth;
+      NVC_REQUIRE(leaf_depth == f.depth, "leaves at different depths");
+    } else {
+      NVC_REQUIRE(nd->n >= 1, "internal node without separators");
+      for (std::size_t i = 0; i <= nd->n; ++i) {
+        const Key lo = i == 0 ? f.lo : nd->keys()[i - 1];
+        const Key hi = i == nd->n ? f.hi : nd->keys()[i];
+        stack.push_back({nd->children()[i], lo, hi, f.depth + 1});
+      }
+    }
+  }
+}
+
+}  // namespace nvc::mdb

@@ -1,0 +1,31 @@
+// Mtest — the MDB test-suite workload the paper uses for its case study
+// (Section IV-C): insert a stream of key/value pairs interleaved with
+// traversals and deletions, batched into durable write transactions (each
+// write transaction is one FASE).
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace nvc::mdb {
+
+struct MtestConfig {
+  /// Total puts (paper: 1,000,000). Quick default is 1/10 scale.
+  std::uint64_t inserts_full = 1000000;
+  std::uint64_t inserts_quick = 100000;
+  /// Puts per write transaction; the paper observes ~652 persistent stores
+  /// per FASE, which this batch size approximates through page COW traffic.
+  std::uint64_t batch = 10;
+  /// Every n-th batch runs a read-transaction range traversal.
+  std::uint64_t traverse_every = 16;
+  std::uint64_t traversal_length = 64;
+  /// Every n-th batch deletes one earlier key.
+  std::uint64_t delete_every = 4;
+};
+
+/// Workload adapter so mdb runs through the same harness as the mini-apps.
+std::unique_ptr<workloads::Workload> make_mdb_workload(
+    const MtestConfig& config = {});
+
+}  // namespace nvc::mdb

@@ -1,0 +1,64 @@
+// Cache-line flush backends.
+//
+// The paper's system (Atlas) persists data with x86 `clflush`; newer parts
+// offer `clflushopt` (weakly ordered) and `clwb` (no invalidation; the paper
+// notes Atlas avoids it for visibility reasons). This module wraps all three
+// plus a simulated backend (busy-wait of configurable cost) so experiments run
+// identically on hardware without the instructions, and an accounting-only
+// backend for pure flush counting.
+//
+// All backends count issued flushes and fences; counters are per-instance so
+// per-thread backends need no atomics on the hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nvc::pmem {
+
+enum class FlushKind : std::uint8_t {
+  kClflush,     // flush + invalidate, strongly ordered (Atlas' choice)
+  kClflushopt,  // flush + invalidate, weakly ordered (needs sfence)
+  kClwb,        // write back, line stays valid (needs sfence)
+  kSimulated,   // spin for a configured latency; for hosts without the insns
+  kCountOnly,   // no work at all; used when only flush counts matter
+};
+
+/// Pick the best available backend for real-hardware timing experiments:
+/// clflush if supported (paper fidelity), else simulated.
+FlushKind default_flush_kind();
+
+/// Parse "clflush" / "clflushopt" / "clwb" / "sim" / "count".
+FlushKind parse_flush_kind(const char* name);
+
+const char* to_string(FlushKind kind);
+
+/// Issues cache-line write-backs and memory fences, counting both.
+class FlushBackend {
+ public:
+  explicit FlushBackend(FlushKind kind = default_flush_kind(),
+                        std::uint32_t simulated_latency_ns = 100);
+
+  /// Write back (and possibly invalidate) the cache line holding `addr`.
+  void flush(const void* addr) noexcept;
+
+  /// Flush every line in [addr, addr+size).
+  void flush_range(const void* addr, std::size_t size) noexcept;
+
+  /// Order previously issued weak flushes (sfence; no-op for kCountOnly).
+  void fence() noexcept;
+
+  FlushKind kind() const noexcept { return kind_; }
+  std::uint64_t flush_count() const noexcept { return flushes_; }
+  std::uint64_t fence_count() const noexcept { return fences_; }
+  void reset_counters() noexcept { flushes_ = fences_ = 0; }
+
+ private:
+  FlushKind kind_;
+  std::uint32_t simulated_latency_ns_;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t fences_ = 0;
+};
+
+}  // namespace nvc::pmem

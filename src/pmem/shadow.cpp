@@ -1,0 +1,54 @@
+#include "pmem/shadow.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace nvc::pmem {
+
+ShadowPmem::ShadowPmem(std::size_t size)
+    : volatile_(size, 0), durable_(size, 0) {
+  NVC_REQUIRE(size > 0);
+}
+
+void ShadowPmem::store(PmAddr addr, const void* data, std::size_t len) {
+  NVC_REQUIRE(addr + len <= volatile_.size(), "store out of region");
+  std::memcpy(volatile_.data() + addr, data, len);
+  ++stores_;
+  const LineAddr first = line_of(addr);
+  const LineAddr last = line_of(addr + len - 1);
+  for (LineAddr line = first; line <= last; ++line) dirty_.insert(line);
+}
+
+void ShadowPmem::load(PmAddr addr, void* out, std::size_t len) const {
+  NVC_REQUIRE(addr + len <= volatile_.size(), "load out of region");
+  std::memcpy(out, volatile_.data() + addr, len);
+}
+
+void ShadowPmem::flush_line(LineAddr line) {
+  ++flushes_;
+  const PmAddr base = line_base(line);
+  if (base >= volatile_.size()) return;  // flush of a line we never mapped
+  const std::size_t len = std::min(kCacheLineSize, volatile_.size() - base);
+  std::memcpy(durable_.data() + base, volatile_.data() + base, len);
+  dirty_.erase(line);
+}
+
+void ShadowPmem::flush_all() {
+  // Copy to avoid iterating a set while erasing from it.
+  std::vector<LineAddr> lines(dirty_.begin(), dirty_.end());
+  for (LineAddr line : lines) flush_line(line);
+}
+
+void ShadowPmem::crash() {
+  volatile_ = durable_;
+  dirty_.clear();
+}
+
+void ShadowPmem::load_durable(PmAddr addr, void* out, std::size_t len) const {
+  NVC_REQUIRE(addr + len <= durable_.size(), "durable load out of region");
+  std::memcpy(out, durable_.data() + addr, len);
+}
+
+}  // namespace nvc::pmem

@@ -1,0 +1,81 @@
+// Shadow persistent-memory model for crash-consistency testing.
+//
+// Real hardware keeps recently written lines in the (volatile) CPU cache;
+// only flushed lines are guaranteed durable. ShadowPmem makes that split
+// explicit: every store lands in the volatile image, a flush copies the
+// affected cache line into the durable image, and crash() discards all
+// unflushed state. Tests drive a policy against this model and then check
+// what an actual power failure would have left in NVRAM.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nvc::pmem {
+
+class ShadowPmem {
+ public:
+  explicit ShadowPmem(std::size_t size);
+
+  std::size_t size() const noexcept { return volatile_.size(); }
+
+  /// Write `len` bytes at byte offset `addr` into the volatile image.
+  void store(PmAddr addr, const void* data, std::size_t len);
+
+  /// Convenience: store a trivially-copyable value.
+  template <typename T>
+  void store_value(PmAddr addr, const T& value) {
+    store(addr, &value, sizeof(T));
+  }
+
+  /// Read from the volatile image (what the running program sees).
+  void load(PmAddr addr, void* out, std::size_t len) const;
+
+  template <typename T>
+  T load_value(PmAddr addr) const {
+    T v{};
+    load(addr, &v, sizeof(T));
+    return v;
+  }
+
+  /// Persist one cache line: copy it from volatile to durable.
+  void flush_line(LineAddr line);
+
+  /// Persist the line containing byte offset `addr`.
+  void flush_addr(PmAddr addr) { flush_line(line_of(addr)); }
+
+  /// Persist every dirty line (models a whole-cache flush).
+  void flush_all();
+
+  /// Power failure: all unflushed lines are lost; the volatile image is
+  /// reloaded from the durable image (as a restarted process would see).
+  void crash();
+
+  /// Read from the durable image (what recovery would see after a crash).
+  void load_durable(PmAddr addr, void* out, std::size_t len) const;
+
+  template <typename T>
+  T durable_value(PmAddr addr) const {
+    T v{};
+    load_durable(addr, &v, sizeof(T));
+    return v;
+  }
+
+  std::size_t dirty_line_count() const noexcept { return dirty_.size(); }
+  bool line_dirty(LineAddr line) const { return dirty_.contains(line); }
+
+  std::uint64_t stores() const noexcept { return stores_; }
+  std::uint64_t flushes() const noexcept { return flushes_; }
+
+ private:
+  std::vector<std::uint8_t> volatile_;
+  std::vector<std::uint8_t> durable_;
+  std::unordered_set<LineAddr> dirty_;
+  std::uint64_t stores_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace nvc::pmem

@@ -1,0 +1,129 @@
+// Persistent containers over the FASE runtime: durable data structures whose
+// mutations are instrumented stores, so they are failure-atomic when used
+// inside FASEs (with undo logging) and write-combined by the active policy.
+//
+//   PVector<T>  — bounded-capacity persistent vector (size + element array
+//                 in persistent memory; push/pop/assign are pstore-ed).
+//   PCounter    — persistent monotonic counter with saturating add.
+//
+// Layout is position independent (the header stores no pointers), so a
+// container found via Runtime::get_root works across re-opens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "runtime/runtime.hpp"
+
+namespace nvc::runtime {
+
+/// Bounded persistent vector. The control block and the element storage are
+/// one allocation: [Header | T x capacity].
+template <typename T>
+class PVector {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Allocate a new, empty vector on the runtime's persistent heap.
+  static PVector create(Runtime& rt, std::size_t capacity) {
+    NVC_REQUIRE(capacity > 0);
+    auto* header = static_cast<Header*>(
+        rt.pm_alloc(sizeof(Header) + capacity * sizeof(T)));
+    FaseScope fase(rt);
+    rt.pstore(header->magic, kMagic);
+    rt.pstore(header->capacity, static_cast<std::uint64_t>(capacity));
+    rt.pstore(header->size, std::uint64_t{0});
+    return PVector(rt, header);
+  }
+
+  /// Adopt an existing vector (e.g. from Runtime::get_root after re-open).
+  static PVector open(Runtime& rt, void* location) {
+    auto* header = static_cast<Header*>(location);
+    NVC_REQUIRE(header->magic == kMagic, "not a PVector");
+    return PVector(rt, header);
+  }
+
+  /// Address to stash in Runtime::set_root.
+  void* root() const noexcept { return header_; }
+
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(header_->size);
+  }
+  std::size_t capacity() const noexcept {
+    return static_cast<std::size_t>(header_->capacity);
+  }
+  bool empty() const noexcept { return header_->size == 0; }
+
+  /// Append; must run inside a FASE for atomicity with other updates.
+  void push_back(const T& value) {
+    NVC_REQUIRE(header_->size < header_->capacity, "PVector full");
+    rt_->pstore(data()[header_->size], value);
+    rt_->pstore(header_->size, header_->size + 1);
+  }
+
+  void pop_back() {
+    NVC_REQUIRE(header_->size > 0, "PVector empty");
+    rt_->pstore(header_->size, header_->size - 1);
+  }
+
+  const T& operator[](std::size_t i) const noexcept {
+    NVC_ASSERT(i < size());
+    return data()[i];
+  }
+
+  void assign(std::size_t i, const T& value) {
+    NVC_REQUIRE(i < size());
+    rt_->pstore(data()[i], value);
+  }
+
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size(); }
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t capacity;
+    std::uint64_t size;
+    std::uint64_t pad;  // keep elements 16-byte aligned within 64B lines
+  };
+  static constexpr std::uint64_t kMagic = 0x504e56454354ULL;  // "PNVECT"
+
+  PVector(Runtime& rt, Header* header) : rt_(&rt), header_(header) {}
+
+  T* data() const noexcept {
+    return reinterpret_cast<T*>(header_ + 1);
+  }
+
+  Runtime* rt_;
+  Header* header_;
+};
+
+/// Persistent counter: a durable uint64 with instrumented increments.
+class PCounter {
+ public:
+  static PCounter create(Runtime& rt) {
+    auto* cell = rt.pm_new<std::uint64_t>();
+    FaseScope fase(rt);
+    rt.pstore(*cell, std::uint64_t{0});
+    return PCounter(rt, cell);
+  }
+  static PCounter open(Runtime& rt, void* location) {
+    return PCounter(rt, static_cast<std::uint64_t*>(location));
+  }
+
+  void* root() const noexcept { return cell_; }
+  std::uint64_t get() const noexcept { return *cell_; }
+
+  void add(std::uint64_t delta) {
+    const std::uint64_t now = *cell_;
+    rt_->pstore(*cell_, now + delta <= now ? ~std::uint64_t{0} : now + delta);
+  }
+
+ private:
+  PCounter(Runtime& rt, std::uint64_t* cell) : rt_(&rt), cell_(cell) {}
+  Runtime* rt_;
+  std::uint64_t* cell_;
+};
+
+}  // namespace nvc::runtime

@@ -1,0 +1,72 @@
+// Typed convenience wrappers over the instrumentation API, so application
+// code reads like ordinary assignments (the role Atlas' LLVM pass plays).
+#pragma once
+
+#include <type_traits>
+
+#include "runtime/runtime.hpp"
+
+namespace nvc::runtime {
+
+/// A reference to a persistent variable; assignment routes through
+/// Runtime::pstore so the write is logged and reported to the policy.
+template <typename T>
+class PRef {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  PRef(Runtime& rt, T* location) noexcept : rt_(&rt), p_(location) {}
+
+  PRef& operator=(const T& value) {
+    rt_->pstore(*p_, value);
+    return *this;
+  }
+
+  PRef& operator+=(const T& delta) { return *this = get() + delta; }
+  PRef& operator-=(const T& delta) { return *this = get() - delta; }
+
+  /// Reads are not instrumented: the software cache is write-combining and
+  /// the paper's locality analysis considers only persistent writes.
+  T get() const noexcept { return *p_; }
+  operator T() const noexcept { return get(); }
+
+  T* raw() const noexcept { return p_; }
+
+ private:
+  Runtime* rt_;
+  T* p_;
+};
+
+/// A persistent array view with instrumented element assignment.
+template <typename T>
+class PArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  PArray(Runtime& rt, T* data, std::size_t count) noexcept
+      : rt_(&rt), data_(data), count_(count) {}
+
+  /// Allocate a persistent array from the runtime's heap.
+  static PArray allocate(Runtime& rt, std::size_t count) {
+    auto* data = static_cast<T*>(rt.pm_alloc(count * sizeof(T)));
+    return PArray(rt, data, count);
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  PRef<T> operator[](std::size_t i) {
+    NVC_ASSERT(i < count_);
+    return PRef<T>(*rt_, data_ + i);
+  }
+  const T& read(std::size_t i) const noexcept {
+    NVC_ASSERT(i < count_);
+    return data_[i];
+  }
+  T* data() const noexcept { return data_; }
+
+ private:
+  Runtime* rt_;
+  T* data_;
+  std::size_t count_;
+};
+
+}  // namespace nvc::runtime

@@ -1,0 +1,261 @@
+#include "runtime/runtime.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace nvc::runtime {
+
+namespace {
+
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// FlushSink that issues real cache-line write-backs through a FlushBackend.
+class BackendSink final : public core::FlushSink {
+ public:
+  explicit BackendSink(pmem::FlushBackend* backend) : backend_(backend) {}
+  void flush_line(LineAddr line) override {
+    backend_->flush(reinterpret_cast<const void*>(line_base(line)));
+  }
+  void drain() override { backend_->fence(); }
+
+ private:
+  pmem::FlushBackend* backend_;
+};
+
+}  // namespace
+
+struct Runtime::ThreadContext {
+  ThreadContext(const RuntimeConfig& config, std::size_t slot_index,
+                void* log_base)
+      : slot(slot_index),
+        backend(config.flush, config.simulated_flush_ns),
+        log_backend(config.flush, config.simulated_flush_ns),
+        sink(&backend),
+        policy(core::make_policy(config.policy, config.policy_config)),
+        log(log_base != nullptr
+                ? std::make_unique<UndoLog>(log_base, config.log_segment_size,
+                                            &log_backend)
+                : nullptr) {}
+
+  std::size_t slot;
+  pmem::FlushBackend backend;      // data-line flushes (the paper's metric)
+  pmem::FlushBackend log_backend;  // undo-log persistence traffic
+  BackendSink sink;
+  std::unique_ptr<core::Policy> policy;
+  std::unique_ptr<UndoLog> log;
+  std::uint32_t fase_depth = 0;
+};
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)), instance_id_(next_instance_id()) {
+  NVC_REQUIRE(config_.region_size >= (1u << 16));
+  NVC_REQUIRE(config_.max_threads >= 1);
+
+  pmem::PmemRegion data =
+      config_.fresh
+          ? pmem::PmemRegion::create(config_.region_name, config_.region_size)
+          : pmem::PmemRegion::open(config_.region_name);
+  allocator_ =
+      std::make_unique<pmem::PmemAllocator>(std::move(data), config_.fresh);
+
+  if (config_.undo_logging) {
+    const std::string log_name = config_.region_name + ".log";
+    const std::size_t log_size =
+        config_.log_segment_size * config_.max_threads;
+    if (config_.fresh || !pmem::PmemRegion::exists(log_name)) {
+      log_region_ = pmem::PmemRegion::create(log_name, log_size);
+      pmem::FlushBackend backend(config_.flush, config_.simulated_flush_ns);
+      for (std::size_t s = 0; s < config_.max_threads; ++s) {
+        UndoLog(static_cast<char*>(log_region_.base()) +
+                    s * config_.log_segment_size,
+                config_.log_segment_size, &backend)
+            .format();
+      }
+    } else {
+      log_region_ = pmem::PmemRegion::open(log_name);
+    }
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Runtime::ThreadContext& Runtime::ctx() {
+  // Per-(thread, runtime-instance) context cache. Keyed by instance id so a
+  // Runtime reallocated at the same address cannot alias a stale entry.
+  thread_local std::unordered_map<std::uint64_t, ThreadContext*> tl_cache;
+  auto it = tl_cache.find(instance_id_);
+  if (it != tl_cache.end()) return *it->second;
+
+  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  const std::size_t slot = contexts_.size();
+  NVC_REQUIRE(slot < config_.max_threads || !config_.undo_logging,
+              "more threads than configured log segments");
+  void* log_base =
+      config_.undo_logging
+          ? static_cast<char*>(log_region_.base()) +
+                slot * config_.log_segment_size
+          : nullptr;
+  contexts_.push_back(
+      std::make_unique<ThreadContext>(config_, slot, log_base));
+  ThreadContext* c = contexts_.back().get();
+  tl_cache.emplace(instance_id_, c);
+  return *c;
+}
+
+void* Runtime::pm_alloc(std::size_t size) {
+  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  const pmem::POffset off = allocator_->allocate(size);
+  NVC_REQUIRE(off != pmem::kNullOffset, "persistent region exhausted");
+  return allocator_->resolve(off);
+}
+
+void Runtime::pm_free(void* p) {
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  allocator_->deallocate(allocator_->offset_of(p));
+}
+
+void Runtime::set_root(void* p) {
+  allocator_->set_root(p == nullptr ? pmem::kNullOffset
+                                    : allocator_->offset_of(p));
+}
+
+void* Runtime::get_root() const {
+  return allocator_->resolve(allocator_->root());
+}
+
+void Runtime::fase_begin() {
+  ThreadContext& c = ctx();
+  if (c.fase_depth++ == 0) {
+    c.policy->on_fase_begin(c.sink);
+  }
+}
+
+void Runtime::fase_end() {
+  ThreadContext& c = ctx();
+  NVC_REQUIRE(c.fase_depth > 0, "fase_end without matching fase_begin");
+  if (--c.fase_depth == 0) {
+    c.policy->on_fase_end(c.sink);
+    if (c.log) c.log->commit();  // atomic commit point of the FASE
+  }
+}
+
+void Runtime::pstore(void* dst, const void* src, std::size_t len) {
+  NVC_REQUIRE(len > 0);
+  ThreadContext& c = ctx();
+  if (c.log && c.fase_depth > 0) {
+    // Log the old value before overwriting (undo logging); large stores are
+    // logged in kMaxPayload pieces.
+    const auto token = allocator_->region().offset_of(dst);
+    std::size_t done = 0;
+    while (done < len) {
+      const auto piece = static_cast<std::uint32_t>(
+          std::min<std::size_t>(len - done, UndoLog::kMaxPayload));
+      c.log->record(token + done, static_cast<const char*>(dst) + done,
+                    piece);
+      done += piece;
+    }
+  }
+  std::memcpy(dst, src, len);
+  pwrote_in(c, dst, len);
+}
+
+void Runtime::persist_barrier() {
+  ThreadContext& c = ctx();
+  // The policy's FASE-end hook is exactly "flush all buffered lines and
+  // drain"; the FASE itself stays open (fase_depth untouched).
+  c.policy->on_fase_end(c.sink);
+}
+
+void Runtime::pwrote(const void* addr, std::size_t len) {
+  NVC_REQUIRE(len > 0);
+  pwrote_in(ctx(), addr, len);
+}
+
+void Runtime::pwrote_in(ThreadContext& c, const void* addr, std::size_t len) {
+  const auto a = reinterpret_cast<PmAddr>(addr);
+  const LineAddr first = line_of(a);
+  const LineAddr last = line_of(a + len - 1);
+  for (LineAddr line = first; line <= last; ++line) {
+    c.policy->on_store(line, c.sink);
+  }
+}
+
+bool Runtime::needs_recovery() const {
+  if (!config_.undo_logging || !log_region_.valid()) return false;
+  pmem::FlushBackend backend(pmem::FlushKind::kCountOnly);
+  for (std::size_t s = 0; s < config_.max_threads; ++s) {
+    UndoLog log(static_cast<char*>(log_region_.base()) +
+                    s * config_.log_segment_size,
+                config_.log_segment_size, &backend);
+    if (log.needs_recovery()) return true;
+  }
+  return false;
+}
+
+std::size_t Runtime::recover() {
+  if (!config_.undo_logging || !log_region_.valid()) return 0;
+  pmem::FlushBackend backend(config_.flush, config_.simulated_flush_ns);
+  std::size_t undone = 0;
+  for (std::size_t s = 0; s < config_.max_threads; ++s) {
+    UndoLog log(static_cast<char*>(log_region_.base()) +
+                    s * config_.log_segment_size,
+                config_.log_segment_size, &backend);
+    if (!log.needs_recovery()) continue;
+    undone += log.rollback(
+        [this, &backend](std::uint64_t token, const void* bytes,
+                         std::uint32_t len) {
+          void* dst = allocator_->region().at(token);
+          std::memcpy(dst, bytes, len);
+          backend.flush_range(dst, len);
+        });
+    backend.fence();
+  }
+  return undone;
+}
+
+void Runtime::thread_flush() {
+  ThreadContext& c = ctx();
+  c.policy->finish(c.sink);
+}
+
+RuntimeStats Runtime::stats() const {
+  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  RuntimeStats s;
+  s.threads = contexts_.size();
+  for (const auto& c : contexts_) {
+    const core::PolicyCounters& pc = c->policy->counters();
+    s.stores += pc.stores;
+    s.combined += pc.combined;
+    s.fases += pc.fases;
+    s.instructions += pc.instructions;
+    s.flushes += c->backend.flush_count();
+    s.fences += c->backend.fence_count();
+    s.log_flushes += c->log_backend.flush_count();
+    if (c->log) {
+      s.log_records += c->log->records();
+      s.log_bytes += c->log->bytes_logged();
+    }
+    if (const std::size_t size = c->policy->current_cache_size(); size > 0) {
+      s.cache_sizes.push_back(size);
+    }
+  }
+  return s;
+}
+
+void Runtime::destroy_storage() {
+  const std::string data_name = config_.region_name;
+  const std::string log_name = config_.region_name + ".log";
+  allocator_.reset();
+  log_region_ = pmem::PmemRegion();
+  pmem::PmemRegion::destroy(data_name);
+  pmem::PmemRegion::destroy(log_name);
+}
+
+}  // namespace nvc::runtime

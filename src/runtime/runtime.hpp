@@ -1,0 +1,177 @@
+// The FASE runtime: the piece Atlas implements with an LLVM pass plus a
+// runtime library. Our LLVM-pass substitution (see DESIGN.md) is an explicit
+// instrumentation API with identical semantics:
+//
+//   Runtime rt(config);
+//   {
+//     FaseScope fase(rt);              // lock-acquire in Atlas terms
+//     rt.pstore(&node->next, value);   // instrumented persistent store
+//   }                                  // FASE end: policy flush + log commit
+//
+// Responsibilities:
+//   * owns the persistent data region and heap (pmem::PmemAllocator);
+//   * maintains one ThreadContext per thread: caching policy instance, flush
+//     backend, undo-log segment — all thread-private, lock-free on the hot
+//     path (paper Section II-B);
+//   * FASE nesting: only outermost begin/end reach the policy and the log
+//     commit (a FASE is lock-scoped and may nest, unlike a transaction);
+//   * durable undo logging + recovery for failure atomicity;
+//   * aggregation of per-thread statistics for the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/policy.hpp"
+#include "pmem/flush.hpp"
+#include "pmem/pmem_alloc.hpp"
+#include "pmem/pmem_region.hpp"
+#include "runtime/undo_log.hpp"
+
+namespace nvc::runtime {
+
+struct RuntimeConfig {
+  std::string region_name = "default";
+  std::size_t region_size = 64u << 20;  // data region bytes
+  /// If false, open an existing region (recovery / restart path).
+  bool fresh = true;
+
+  core::PolicyKind policy = core::PolicyKind::kSoftCache;
+  core::PolicyConfig policy_config;
+
+  pmem::FlushKind flush = pmem::default_flush_kind();
+  std::uint32_t simulated_flush_ns = 100;
+
+  /// Durable undo logging (off for pure flush-counting experiments).
+  bool undo_logging = false;
+  std::size_t log_segment_size = 1u << 20;
+  std::size_t max_threads = 64;
+};
+
+/// Statistics aggregated over all thread contexts.
+struct RuntimeStats {
+  std::uint64_t stores = 0;
+  std::uint64_t combined = 0;
+  std::uint64_t fases = 0;
+  std::uint64_t flushes = 0;       // data lines written back to NVRAM
+  std::uint64_t log_flushes = 0;   // undo-log lines written back
+  std::uint64_t fences = 0;
+  std::uint64_t instructions = 0;  // policy bookkeeping estimate
+  std::uint64_t log_records = 0;
+  std::uint64_t log_bytes = 0;
+  std::size_t threads = 0;
+  std::vector<std::size_t> cache_sizes;  // per-thread selected sizes (SC)
+
+  double flush_ratio() const noexcept {
+    return stores == 0
+               ? 0.0
+               : static_cast<double>(flushes) / static_cast<double>(stores);
+  }
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- persistent heap ------------------------------------------------------
+
+  /// Allocate persistent memory (durable location, not failure-atomic).
+  void* pm_alloc(std::size_t size);
+  void pm_free(void* p);
+
+  /// Durable root pointer, the recovery entry point.
+  void set_root(void* p);
+  void* get_root() const;
+
+  template <typename T>
+  T* pm_new() {
+    return static_cast<T*>(pm_alloc(sizeof(T)));
+  }
+
+  // --- FASEs and instrumented stores ---------------------------------------
+
+  /// Enter a failure-atomic section on this thread (nestable).
+  void fase_begin();
+
+  /// Leave a FASE; the outermost end flushes per policy and commits the log.
+  void fase_end();
+
+  /// Instrumented persistent store: logs the old value (if logging), applies
+  /// the write, and reports the line to the caching policy. Must run inside
+  /// a FASE for atomicity; outside a FASE it degrades to store+report, as
+  /// Atlas permits for unprotected persistent writes.
+  void pstore(void* dst, const void* src, std::size_t len);
+
+  template <typename T>
+  void pstore(T& dst, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pstore(&dst, &value, sizeof(T));
+  }
+
+  /// Report-only variant: the caller already wrote [addr, addr+len) (e.g.
+  /// via a library like memcpy) and needs it tracked for persistence.
+  void pwrote(const void* addr, std::size_t len);
+
+  /// Mid-FASE persistence barrier: flush everything this thread's policy
+  /// has buffered and fence. Used by stores with their own commit ordering
+  /// (e.g. MDB writes data pages durably before publishing the new meta).
+  void persist_barrier();
+
+  // --- recovery -------------------------------------------------------------
+
+  /// True if any thread's log segment holds uncommitted records.
+  bool needs_recovery() const;
+
+  /// Roll back all uncommitted FASEs; returns records undone.
+  std::size_t recover();
+
+  // --- introspection ---------------------------------------------------------
+
+  /// Aggregate statistics over every thread that used this runtime.
+  RuntimeStats stats() const;
+
+  /// Drain this thread's context: flush anything buffered (program end).
+  void thread_flush();
+
+  const RuntimeConfig& config() const noexcept { return config_; }
+  pmem::PmemAllocator& allocator() noexcept { return *allocator_; }
+
+  /// Remove the backing files (test teardown).
+  void destroy_storage();
+
+ private:
+  struct ThreadContext;
+
+  ThreadContext& ctx();
+  void pwrote_in(ThreadContext& c, const void* addr, std::size_t len);
+
+  RuntimeConfig config_;
+  std::unique_ptr<pmem::PmemAllocator> allocator_;
+  pmem::PmemRegion log_region_;
+  std::uint64_t instance_id_;
+
+  mutable std::mutex contexts_mutex_;
+  std::vector<std::unique_ptr<ThreadContext>> contexts_;
+};
+
+/// RAII failure-atomic section (maps to Atlas' lock-based FASE).
+class FaseScope {
+ public:
+  explicit FaseScope(Runtime& rt) : rt_(rt) { rt_.fase_begin(); }
+  ~FaseScope() { rt_.fase_end(); }
+  FaseScope(const FaseScope&) = delete;
+  FaseScope& operator=(const FaseScope&) = delete;
+
+ private:
+  Runtime& rt_;
+};
+
+}  // namespace nvc::runtime

@@ -1,0 +1,68 @@
+#include "runtime/undo_log.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace nvc::runtime {
+
+UndoLog::UndoLog(void* base, std::size_t size, pmem::FlushBackend* backend)
+    : base_(static_cast<char*>(base)), size_(size), backend_(backend) {
+  NVC_REQUIRE(base_ != nullptr);
+  NVC_REQUIRE((reinterpret_cast<std::uintptr_t>(base_) % kCacheLineSize) == 0,
+              "log segment must be cache-line aligned");
+  NVC_REQUIRE(size_ >= kHeaderSize + kMaxPayload + sizeof(EntryFooter));
+}
+
+void UndoLog::persist(const void* p, std::size_t len) {
+  backend_->flush_range(p, len);
+  backend_->fence();
+}
+
+void UndoLog::format() {
+  LogHeader* h = header();
+  h->magic = kMagic;
+  h->tail = kHeaderSize;
+  persist(h, sizeof(LogHeader));
+}
+
+bool UndoLog::valid() const { return header()->magic == kMagic; }
+
+bool UndoLog::needs_recovery() const {
+  return valid() && header()->tail > kHeaderSize;
+}
+
+std::uint64_t UndoLog::tail() const { return header()->tail; }
+
+void UndoLog::record(std::uint64_t addr_token, const void* current_bytes,
+                     std::uint32_t len) {
+  NVC_REQUIRE(len >= 1 && len <= kMaxPayload);
+  const std::uint64_t payload_size = align_up(len, 8);
+  const std::uint64_t entry_size = payload_size + sizeof(EntryFooter);
+  LogHeader* h = header();
+  NVC_REQUIRE(h->tail + entry_size <= size_, "undo log segment overflow");
+
+  char* payload = base_ + h->tail;
+  std::memcpy(payload, current_bytes, len);
+  auto* footer = reinterpret_cast<EntryFooter*>(payload + payload_size);
+  footer->addr_token = addr_token;
+  footer->len = len;
+  footer->check = static_cast<std::uint32_t>(addr_token ^ len ^ kMagic);
+
+  // Entry must be durable before the new tail that makes it reachable, and
+  // the tail must be durable before the caller's in-place data update.
+  persist(payload, entry_size);
+  h->tail += entry_size;
+  persist(&h->tail, sizeof(h->tail));
+
+  ++records_;
+  bytes_logged_ += entry_size;
+}
+
+void UndoLog::commit() {
+  LogHeader* h = header();
+  h->tail = kHeaderSize;
+  persist(&h->tail, sizeof(h->tail));
+}
+
+}  // namespace nvc::runtime

@@ -1,0 +1,107 @@
+// Durable undo logging for failure-atomic sections.
+//
+// Atlas guarantees that upon a failure either all or none of a FASE's updates
+// are visible in NVRAM (paper Section II-A). The mechanism is a per-thread
+// persistent undo log: before data is overwritten inside a FASE, the old
+// bytes are appended to the log and persisted; at the outermost FASE end the
+// dirty data lines are flushed (by whichever caching policy is active) and
+// the log is truncated, which is the atomic commit. Recovery after a crash
+// rolls back any non-truncated log tail in reverse order, restoring the
+// pre-FASE state.
+//
+// The log lives in its own slice of persistent memory and is written with
+// store + flush + fence ordering so the "old value" entry is durable before
+// the in-place update can possibly reach NVRAM.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "pmem/flush.hpp"
+
+namespace nvc::runtime {
+
+/// One log segment: a fixed [base, base+size) slice of a persistent region.
+/// Layout: a 64-byte header (tail offset + magic) followed by entries.
+class UndoLog {
+ public:
+  /// `base` must be 64-byte aligned; `size` covers header + payload.
+  UndoLog(void* base, std::size_t size, pmem::FlushBackend* backend);
+
+  /// Format the segment as an empty, committed log.
+  void format();
+
+  /// True if the header magic is valid (segment was formatted).
+  bool valid() const;
+
+  /// True if the log holds uncommitted entries (crash inside a FASE).
+  bool needs_recovery() const;
+
+  /// Append the current content of [addr, addr+len) as an undo record and
+  /// make the record durable before returning. len <= kMaxPayload.
+  /// `addr_token` is the position-independent token stored in the record
+  /// (the caller maps pointers to region offsets).
+  void record(std::uint64_t addr_token, const void* current_bytes,
+              std::uint32_t len);
+
+  /// Commit: truncate the log durably (the FASE's updates become permanent).
+  void commit();
+
+  /// Roll back every uncommitted record, newest first. `apply` restores the
+  /// payload bytes at the location identified by the token.
+  template <typename ApplyFn>
+  std::size_t rollback(ApplyFn&& apply) {
+    std::size_t undone = 0;
+    std::uint64_t off = tail();
+    while (off > kHeaderSize) {
+      // Each record is: [payload][EntryFooter]; walk backward via footers.
+      const auto* footer = reinterpret_cast<const EntryFooter*>(
+          base_ + off - sizeof(EntryFooter));
+      NVC_REQUIRE(footer->check == static_cast<std::uint32_t>(
+                                       footer->addr_token ^ footer->len ^
+                                       kMagic),
+                  "corrupt undo-log record");
+      const std::uint64_t payload_start =
+          off - sizeof(EntryFooter) - align_up(footer->len, 8);
+      apply(footer->addr_token, base_ + payload_start, footer->len);
+      off = payload_start;
+      ++undone;
+    }
+    commit();
+    return undone;
+  }
+
+  std::uint64_t tail() const;
+  std::size_t capacity() const noexcept { return size_; }
+  std::uint64_t records() const noexcept { return records_; }
+  std::uint64_t bytes_logged() const noexcept { return bytes_logged_; }
+
+  static constexpr std::uint32_t kMaxPayload = 256;
+  static constexpr std::size_t kHeaderSize = kCacheLineSize;
+
+ private:
+  struct LogHeader {
+    std::uint64_t magic;
+    std::uint64_t tail;  // next free offset; kHeaderSize when empty
+  };
+  struct EntryFooter {
+    std::uint64_t addr_token;
+    std::uint32_t len;
+    std::uint32_t check;  // footer integrity word
+  };
+  static constexpr std::uint64_t kMagic = 0x4e5643554e444f4cULL;  // NVCUNDOL
+
+  LogHeader* header() const {
+    return reinterpret_cast<LogHeader*>(base_);
+  }
+  void persist(const void* p, std::size_t len);
+
+  char* base_;
+  std::size_t size_;
+  pmem::FlushBackend* backend_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_logged_ = 0;
+};
+
+}  // namespace nvc::runtime

@@ -1,0 +1,179 @@
+// The instrumentation seam between workloads and the persistence machinery.
+//
+// Every workload (SPLASH2-style mini-app, micro-benchmark, MDB adapter) is
+// written against PersistApi. Two implementations cover the two measurement
+// substrates of DESIGN.md:
+//
+//   RuntimeApi — forwards to runtime::Runtime: real persistent heap, real
+//                cache-line flushes; used for wall-clock experiments.
+//   TraceApi   — records a per-thread event trace (stores at cache-line
+//                granularity, FASE boundaries, computation amounts); the
+//                trace is replayed offline through any policy, either for
+//                flush counting or through the hwsim cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "runtime/runtime.hpp"
+
+namespace nvc::workloads {
+
+class PersistApi {
+ public:
+  virtual ~PersistApi() = default;
+
+  /// Allocate durable memory (real persistent heap or trace-mode arena).
+  virtual void* alloc(std::size_t tid, std::size_t size) = 0;
+
+  virtual void fase_begin(std::size_t tid) = 0;
+  virtual void fase_end(std::size_t tid) = 0;
+
+  /// The workload wrote [addr, addr+len); track it for persistence.
+  virtual void wrote(std::size_t tid, const void* addr, std::size_t len) = 0;
+
+  /// Persistence barrier inside a FASE: everything written so far must be
+  /// durable before this call returns (flush buffered lines + fence). Used
+  /// by stores that implement their own commit ordering, e.g. MDB flushing
+  /// data pages before publishing the new meta (LMDB's fsync-before-meta).
+  virtual void persist_barrier(std::size_t tid) = 0;
+
+  /// The workload read [addr, addr+len) of persistent data. Reads are NOT
+  /// reported to the caching policy (the paper's analysis is write-only)
+  /// but they drive the hardware-cache model: a clflush-invalidated line
+  /// re-misses on its next load — the indirect flush cost of Section II-A.
+  /// Live mode ignores this (the real load already ran).
+  virtual void read(std::size_t tid, const void* addr, std::size_t len) {
+    (void)tid;
+    (void)addr;
+    (void)len;
+  }
+
+  /// Hint: `instr` instructions of pure computation happened (trace mode
+  /// feeds this to the cost model; live mode ignores it — the computation
+  /// itself already consumed wall-clock time).
+  virtual void compute(std::size_t tid, std::uint64_t instr) {
+    (void)tid;
+    (void)instr;
+  }
+
+  /// Typed store helper: write the value, then track it.
+  template <typename T>
+  void store(std::size_t tid, T& dst, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    dst = value;
+    wrote(tid, &dst, sizeof(T));
+  }
+};
+
+/// RAII FASE for workload code.
+class ApiFase {
+ public:
+  ApiFase(PersistApi& api, std::size_t tid) : api_(api), tid_(tid) {
+    api_.fase_begin(tid_);
+  }
+  ~ApiFase() { api_.fase_end(tid_); }
+  ApiFase(const ApiFase&) = delete;
+  ApiFase& operator=(const ApiFase&) = delete;
+
+ private:
+  PersistApi& api_;
+  std::size_t tid_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Live-mode adapter over the FASE runtime.
+class RuntimeApi final : public PersistApi {
+ public:
+  explicit RuntimeApi(runtime::Runtime& rt) : rt_(rt) {}
+
+  void* alloc(std::size_t, std::size_t size) override {
+    return rt_.pm_alloc(size);
+  }
+  void fase_begin(std::size_t) override { rt_.fase_begin(); }
+  void fase_end(std::size_t) override { rt_.fase_end(); }
+  void wrote(std::size_t, const void* addr, std::size_t len) override {
+    rt_.pwrote(addr, len);
+  }
+  void persist_barrier(std::size_t) override { rt_.persist_barrier(); }
+
+ private:
+  runtime::Runtime& rt_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// One recorded event. Stores are cache-line granular (like Atlas, which
+/// monitors writes at cache-line granularity).
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kStore,
+    kLoad,  // persistent-data read (L1 model only; not seen by policies)
+    kFaseBegin,
+    kFaseEnd,
+    kCompute,
+    kBarrier,  // mid-FASE persistence barrier
+  };
+  Kind kind;
+  std::uint64_t value;  // kStore: LineAddr; kCompute: instruction count
+};
+
+/// Per-thread event trace of one workload execution.
+struct ThreadTrace {
+  std::vector<TraceEvent> events;
+
+  std::uint64_t store_count = 0;
+  std::uint64_t load_count = 0;
+  std::uint64_t fase_count = 0;
+  std::uint64_t compute_instr = 0;
+
+  /// Extract the bare store trace and FASE-end boundary positions (indices
+  /// into the store sequence), the form the locality analyses consume.
+  void store_trace(std::vector<LineAddr>* stores,
+                   std::vector<std::size_t>* boundaries) const;
+};
+
+/// Trace-mode implementation; thread-safe across distinct tids.
+class TraceApi final : public PersistApi {
+ public:
+  /// `threads`: number of tids that will be used. Trace-mode allocations come
+  /// from a private arena so that line addresses are deterministic across
+  /// runs (same seed => byte-identical traces).
+  explicit TraceApi(std::size_t threads, std::size_t arena_bytes = 64u << 20);
+  ~TraceApi() override;
+  TraceApi(TraceApi&&) noexcept;
+  TraceApi& operator=(TraceApi&&) noexcept;
+
+  void* alloc(std::size_t tid, std::size_t size) override;
+  void fase_begin(std::size_t tid) override;
+  void fase_end(std::size_t tid) override;
+  void wrote(std::size_t tid, const void* addr, std::size_t len) override;
+  void compute(std::size_t tid, std::uint64_t instr) override;
+  void persist_barrier(std::size_t tid) override;
+  void read(std::size_t tid, const void* addr, std::size_t len) override;
+
+  std::size_t threads() const noexcept { return traces_.size(); }
+  const ThreadTrace& trace(std::size_t tid) const {
+    NVC_REQUIRE(tid < traces_.size());
+    return traces_[tid];
+  }
+
+  /// Concatenated store count over all threads.
+  std::uint64_t total_stores() const noexcept;
+
+  /// Cache-line address of the arena base. Store-event line addresses are
+  /// deterministic *relative to this base* across runs (the arena itself
+  /// lands wherever the OS maps it).
+  LineAddr arena_base_line() const noexcept;
+
+ private:
+  struct Arena;
+  std::vector<ThreadTrace> traces_;
+  std::unique_ptr<Arena> arena_;
+};
+
+}  // namespace nvc::workloads

@@ -1,0 +1,323 @@
+// Extension workloads: the SPLASH2 kernels (lu, fft, radix) that the paper's
+// tables do not include but the suite contains. They broaden the locality
+// spectrum the adaptive cache is tested against:
+//
+//   lu    — blocked dense LU factorization: a block of the matrix is
+//           rewritten once per elimination step, a classic mid-size write
+//           working set (the block);
+//   fft   — iterative Cooley-Tukey over a persistent complex array: each
+//           stage rewrites every point, with butterfly spans that defeat
+//           any small cache at early stages and collapse to neighbors at
+//           late stages;
+//   radix — LSD radix sort: a 256-bin persistent histogram (very hot, a few
+//           lines) interleaved with streaming scatter writes — the
+//           hot-vs-stream mix that separates associative from
+//           direct-mapped bookkeeping.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workloads/workload.hpp"
+
+namespace nvc::workloads {
+
+namespace {
+
+std::pair<std::size_t, std::size_t> split(std::size_t n, std::size_t threads,
+                                          std::size_t tid) {
+  const std::size_t chunk = (n + threads - 1) / threads;
+  const std::size_t begin = std::min(tid * chunk, n);
+  return {begin, std::min(begin + chunk, n)};
+}
+
+// --- lu ------------------------------------------------------------------------
+
+class LuWorkload final : public Workload {
+ public:
+  std::string name() const override { return "lu"; }
+  std::string problem_size(const WorkloadParams& p) const override {
+    return std::to_string(dim(p));
+  }
+  std::uint64_t instr_per_store() const override { return 30; }
+
+  void run(PersistApi& api, const WorkloadParams& p) override {
+    const std::size_t n = dim(p);
+    const std::size_t bs = 16;  // block size: 16x16 doubles = 32 lines
+    auto* a = static_cast<double*>(api.alloc(0, n * n * sizeof(double)));
+
+    // Init: diagonally dominant matrix so elimination stays stable.
+    {
+      Rng rng(p.seed);
+      ApiFase fase(api, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const double v = (i == j) ? static_cast<double>(n)
+                                    : rng.uniform() - 0.5;
+          api.store(0, a[i * n + j], v);
+          api.compute(0, 4);
+        }
+      }
+    }
+
+    SpinBarrier barrier(p.threads);
+    ThreadTeam::run(p.threads, [&](std::size_t tid) {
+      for (std::size_t k = 0; k < n; k += bs) {
+        const std::size_t k_end = std::min(k + bs, n);
+        // Diagonal block factorization (thread 0, small).
+        if (tid == 0) {
+          ApiFase fase(api, 0);
+          for (std::size_t kk = k; kk < k_end; ++kk) {
+            const double pivot = a[kk * n + kk];
+            for (std::size_t i = kk + 1; i < k_end; ++i) {
+              const double l = a[i * n + kk] / pivot;
+              api.store(0, a[i * n + kk], l);
+              for (std::size_t j = kk + 1; j < k_end; ++j) {
+                api.store(0, a[i * n + j], a[i * n + j] - l * a[kk * n + j]);
+              }
+              api.compute(0, 6 * (k_end - kk));
+            }
+          }
+        }
+        barrier.arrive_and_wait();
+
+        // Trailing update: each thread owns row blocks; one FASE per block
+        // pair. The target block (bs x bs doubles) is rewritten once per
+        // kk, giving a block-footprint write working set.
+        const auto [rb_begin, rb_end] = split(n, p.threads, tid);
+        for (std::size_t ib = std::max(rb_begin, k_end); ib < rb_end;
+             ib += bs) {
+          const std::size_t i_end = std::min(ib + bs, rb_end);
+          // Column factor for this row block first.
+          {
+            ApiFase fase(api, tid);
+            for (std::size_t i = ib; i < i_end; ++i) {
+              for (std::size_t kk = k; kk < k_end; ++kk) {
+                const double l = a[i * n + kk] / a[kk * n + kk];
+                api.store(tid, a[i * n + kk], l);
+                api.compute(tid, 4);
+              }
+            }
+          }
+          for (std::size_t jb = k_end; jb < n; jb += bs) {
+            const std::size_t j_end = std::min(jb + bs, n);
+            ApiFase fase(api, tid);
+            for (std::size_t kk = k; kk < k_end; ++kk) {
+              api.read(tid, &a[kk * n + jb], (j_end - jb) * sizeof(double));
+              for (std::size_t i = ib; i < i_end; ++i) {
+                const double l = a[i * n + kk];
+                for (std::size_t j = jb; j < j_end; ++j) {
+                  api.store(tid, a[i * n + j],
+                            a[i * n + j] - l * a[kk * n + j]);
+                }
+                api.compute(tid, 4 * (j_end - jb));
+              }
+            }
+          }
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+
+ private:
+  static std::size_t dim(const WorkloadParams& p) {
+    return p.full ? 512 : 128;
+  }
+};
+
+// --- fft -----------------------------------------------------------------------
+
+class FftWorkload final : public Workload {
+ public:
+  std::string name() const override { return "fft"; }
+  std::string problem_size(const WorkloadParams& p) const override {
+    return std::to_string(points(p));
+  }
+  std::uint64_t instr_per_store() const override { return 24; }
+
+  void run(PersistApi& api, const WorkloadParams& p) override {
+    const std::size_t n = points(p);
+    auto* re = static_cast<double*>(api.alloc(0, n * sizeof(double)));
+    auto* im = static_cast<double*>(api.alloc(0, n * sizeof(double)));
+
+    {
+      Rng rng(p.seed);
+      ApiFase fase(api, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        api.store(0, re[i], rng.uniform() - 0.5);
+        api.store(0, im[i], 0.0);
+        api.compute(0, 4);
+      }
+    }
+
+    SpinBarrier barrier(p.threads);
+    ThreadTeam::run(p.threads, [&](std::size_t tid) {
+      // Bit-reversal permutation (thread 0; swaps are persistent writes).
+      if (tid == 0) {
+        ApiFase fase(api, 0);
+        unsigned bits = 0;
+        while ((1ull << bits) < n) ++bits;
+        for (std::size_t i = 0; i < n; ++i) {
+          std::size_t r = 0;
+          for (unsigned b = 0; b < bits; ++b) r = (r << 1) | ((i >> b) & 1u);
+          if (r > i) {
+            std::swap(re[i], re[r]);
+            std::swap(im[i], im[r]);
+            api.wrote(0, &re[i], sizeof(double));
+            api.wrote(0, &re[r], sizeof(double));
+            api.wrote(0, &im[i], sizeof(double));
+            api.wrote(0, &im[r], sizeof(double));
+            api.compute(0, 12);
+          }
+        }
+      }
+      barrier.arrive_and_wait();
+
+      // log2(n) butterfly stages; each thread owns a contiguous range of
+      // butterfly groups; FASE per (stage, thread).
+      for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = -6.283185307179586 / static_cast<double>(len);
+        const std::size_t half = len / 2;
+        const std::size_t groups = n / len;
+        const auto [g_begin, g_end] = split(groups, p.threads, tid);
+        {
+          ApiFase fase(api, tid);
+          for (std::size_t g = g_begin; g < g_end; ++g) {
+            const std::size_t base = g * len;
+            for (std::size_t k = 0; k < half; ++k) {
+              const double wr = std::cos(angle * static_cast<double>(k));
+              const double wi = std::sin(angle * static_cast<double>(k));
+              const std::size_t i = base + k;
+              const std::size_t j = i + half;
+              const double tr = re[j] * wr - im[j] * wi;
+              const double ti = re[j] * wi + im[j] * wr;
+              api.store(tid, re[j], re[i] - tr);
+              api.store(tid, im[j], im[i] - ti);
+              api.store(tid, re[i], re[i] + tr);
+              api.store(tid, im[i], im[i] + ti);
+              api.compute(tid, 18);
+            }
+          }
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+
+ private:
+  static std::size_t points(const WorkloadParams& p) {
+    return p.full ? (1u << 16) : (1u << 13);
+  }
+};
+
+// --- radix ---------------------------------------------------------------------
+
+class RadixWorkload final : public Workload {
+ public:
+  std::string name() const override { return "radix"; }
+  std::string problem_size(const WorkloadParams& p) const override {
+    return std::to_string(keys(p));
+  }
+  std::uint64_t instr_per_store() const override { return 12; }
+
+  void run(PersistApi& api, const WorkloadParams& p) override {
+    const std::size_t n = keys(p);
+    constexpr std::size_t kBins = 256;
+    auto* src = static_cast<std::uint32_t*>(
+        api.alloc(0, n * sizeof(std::uint32_t)));
+    auto* dst = static_cast<std::uint32_t*>(
+        api.alloc(0, n * sizeof(std::uint32_t)));
+    // Per-thread persistent histograms (cache-line separated hot sets).
+    std::vector<std::uint32_t*> hist(p.threads);
+    for (std::size_t t = 0; t < p.threads; ++t) {
+      hist[t] = static_cast<std::uint32_t*>(
+          api.alloc(t, kBins * sizeof(std::uint32_t)));
+    }
+
+    {
+      Rng rng(p.seed);
+      ApiFase fase(api, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        api.store(0, src[i], static_cast<std::uint32_t>(rng()));
+        api.compute(0, 3);
+      }
+    }
+
+    SpinBarrier barrier(p.threads);
+    std::vector<std::vector<std::uint32_t>> offsets(
+        p.threads, std::vector<std::uint32_t>(kBins));
+
+    ThreadTeam::run(p.threads, [&](std::size_t tid) {
+      for (unsigned pass = 0; pass < 4; ++pass) {
+        const unsigned shift = pass * 8;
+        const auto [begin, end] = split(n, p.threads, tid);
+
+        // Count phase: the 256-bin histogram (16 lines) is the hot write
+        // set, incremented once per key.
+        {
+          ApiFase fase(api, tid);
+          for (std::size_t b = 0; b < kBins; ++b) {
+            api.store(tid, hist[tid][b], 0u);
+          }
+          for (std::size_t i = begin; i < end; ++i) {
+            api.read(tid, &src[i], sizeof(std::uint32_t));
+            const std::size_t b = (src[i] >> shift) & 0xffu;
+            api.store(tid, hist[tid][b], hist[tid][b] + 1);
+            api.compute(tid, 5);
+          }
+        }
+        barrier.arrive_and_wait();
+
+        // Prefix phase (thread 0): global offsets from all histograms.
+        if (tid == 0) {
+          std::uint32_t running = 0;
+          for (std::size_t b = 0; b < kBins; ++b) {
+            for (std::size_t t = 0; t < p.threads; ++t) {
+              offsets[t][b] = running;
+              running += hist[t][b];
+            }
+          }
+        }
+        barrier.arrive_and_wait();
+
+        // Scatter phase: streaming writes to dst at histogram-determined
+        // positions (mostly sequential within a bin).
+        {
+          ApiFase fase(api, tid);
+          auto& my_offsets = offsets[tid];
+          for (std::size_t i = begin; i < end; ++i) {
+            api.read(tid, &src[i], sizeof(std::uint32_t));
+            const std::size_t b = (src[i] >> shift) & 0xffu;
+            api.store(tid, dst[my_offsets[b]], src[i]);
+            ++my_offsets[b];
+            api.compute(tid, 7);
+          }
+        }
+        barrier.arrive_and_wait();
+
+        if (tid == 0) std::swap(src, dst);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+
+ private:
+  static std::size_t keys(const WorkloadParams& p) {
+    return p.full ? 262144 : 32768;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_lu() { return std::make_unique<LuWorkload>(); }
+std::unique_ptr<Workload> make_fft() {
+  return std::make_unique<FftWorkload>();
+}
+std::unique_ptr<Workload> make_radix() {
+  return std::make_unique<RadixWorkload>();
+}
+
+}  // namespace nvc::workloads

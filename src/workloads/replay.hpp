@@ -1,0 +1,86 @@
+// Offline replay of recorded workload traces through a caching policy.
+//
+// Two replay substrates:
+//   * flush counting — drives a policy with a CountingSink; produces the
+//     flush ratios of Table III at trace speed;
+//   * cost-model simulation — drives policy + hwsim::CoreSim; produces the
+//     deterministic cycle counts behind Fig. 5/6 and Table IV.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "hwsim/cache_sim.hpp"
+#include "hwsim/cost_model.hpp"
+#include "workloads/api.hpp"
+
+namespace nvc::workloads {
+
+struct FlushCountResult {
+  std::uint64_t stores = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t fases = 0;
+
+  double flush_ratio() const noexcept {
+    return stores == 0
+               ? 0.0
+               : static_cast<double>(flushes) / static_cast<double>(stores);
+  }
+};
+
+/// Replay one thread's trace through a fresh policy of the given kind and
+/// count the flushes it issues.
+FlushCountResult replay_flush_count(const ThreadTrace& trace,
+                                    core::PolicyKind kind,
+                                    const core::PolicyConfig& config = {});
+
+/// Replay every thread of a TraceApi recording; sums the per-thread counts
+/// (each thread has its own policy instance, as in the paper).
+FlushCountResult replay_flush_count_all(const TraceApi& traces,
+                                        core::PolicyKind kind,
+                                        const core::PolicyConfig& config = {});
+
+// ---------------------------------------------------------------------------
+
+struct SimThreadResult {
+  double cycles = 0.0;
+  std::uint64_t instructions = 0;  // app compute + policy bookkeeping
+  std::uint64_t flushes = 0;
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t stores = 0;
+  hwsim::CacheStats l1;
+};
+
+struct SimRunResult {
+  std::vector<SimThreadResult> threads;
+
+  /// Simulated wall-clock of the parallel run: slowest thread.
+  double makespan_cycles() const noexcept;
+  std::uint64_t total_instructions() const noexcept;
+  std::uint64_t total_flushes() const noexcept;
+  std::uint64_t total_stores() const noexcept;
+  double flush_ratio() const noexcept;
+  /// Aggregate L1 miss ratio over all threads.
+  double l1_miss_ratio() const noexcept;
+};
+
+struct SimConfig {
+  hwsim::CostParams cost;
+  hwsim::CacheConfig l1;
+  core::PolicyConfig policy;
+};
+
+/// Replay one thread's trace through policy + core model.
+SimThreadResult replay_cost_model(const ThreadTrace& trace,
+                                  core::PolicyKind kind,
+                                  const SimConfig& config,
+                                  std::uint64_t seed);
+
+/// Replay all threads; each gets its own policy and core. The L1 contention
+/// probability should already be set in config.l1 for the thread count.
+SimRunResult simulate_run(const TraceApi& traces, core::PolicyKind kind,
+                          const SimConfig& config);
+
+}  // namespace nvc::workloads

@@ -1,0 +1,105 @@
+// Tests for the FASE-aware trace transformation (paper Section III-B).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/fase_trace.hpp"
+
+namespace nvc::core {
+namespace {
+
+TEST(FaseRenamer, SameAddressSameFaseKeepsIdentity) {
+  FaseRenamer r;
+  const LineAddr a1 = r.rename(100);
+  const LineAddr a2 = r.rename(100);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(FaseRenamer, SameAddressAcrossFasesGetsFreshIdentity) {
+  FaseRenamer r;
+  const LineAddr before = r.rename(100);
+  r.fase_boundary();
+  const LineAddr after = r.rename(100);
+  EXPECT_NE(before, after);
+}
+
+TEST(FaseRenamer, DistinctAddressesStayDistinct) {
+  FaseRenamer r;
+  EXPECT_NE(r.rename(1), r.rename(2));
+}
+
+TEST(FaseRenamer, PaperExampleAbAbAb) {
+  // "ab|ab|ab" must become six distinct identities ("abcdef").
+  FaseRenamer r;
+  std::vector<LineAddr> out;
+  for (int f = 0; f < 3; ++f) {
+    out.push_back(r.rename(1));
+    out.push_back(r.rename(2));
+    r.fase_boundary();
+  }
+  std::unordered_set<LineAddr> distinct(out.begin(), out.end());
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(FaseRenamer, ResetRestartsIdentitySpace) {
+  FaseRenamer r;
+  const LineAddr first = r.rename(5);
+  r.fase_boundary();
+  r.rename(5);
+  r.reset();
+  EXPECT_EQ(r.epoch(), 0u);
+  EXPECT_EQ(r.rename(5), first);  // identity counter restarted
+}
+
+TEST(RenameTrace, BoundaryPositionsRespected) {
+  // trace: a b | a b  with boundary before index 2.
+  const std::vector<LineAddr> trace{1, 2, 1, 2};
+  const auto renamed = rename_trace(trace, {2});
+  EXPECT_EQ(renamed[0], renamed[0]);
+  EXPECT_NE(renamed[0], renamed[2]);  // a renamed across the boundary
+  EXPECT_NE(renamed[1], renamed[3]);
+  std::unordered_set<LineAddr> distinct(renamed.begin(), renamed.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(RenameTrace, IntraFaseReusePreserved) {
+  // a a b b | a : the two intra-FASE reuses must survive renaming.
+  const std::vector<LineAddr> trace{1, 1, 2, 2, 1};
+  const auto renamed = rename_trace(trace, {4});
+  EXPECT_EQ(renamed[0], renamed[1]);
+  EXPECT_EQ(renamed[2], renamed[3]);
+  EXPECT_NE(renamed[0], renamed[4]);
+}
+
+TEST(RenameTrace, NoBoundariesIsIsomorphicRelabeling) {
+  const std::vector<LineAddr> trace{9, 8, 9, 7, 8};
+  const auto renamed = rename_trace(trace, {});
+  EXPECT_EQ(renamed[0], renamed[2]);
+  EXPECT_EQ(renamed[1], renamed[4]);
+  EXPECT_NE(renamed[0], renamed[1]);
+  EXPECT_NE(renamed[3], renamed[0]);
+}
+
+TEST(RenameTrace, AdjacentBoundariesAreIdempotent) {
+  // Two boundaries at the same position act like one.
+  const std::vector<LineAddr> trace{1, 1};
+  const auto renamed = rename_trace(trace, {1, 1});
+  EXPECT_NE(renamed[0], renamed[1]);
+}
+
+TEST(FaseRenamer, ManyEpochsStayO1PerWrite) {
+  // Epoch tagging means no per-boundary table clearing: a million
+  // boundary/write pairs must run fast and rename correctly.
+  FaseRenamer r;
+  LineAddr prev = r.rename(4);
+  for (int i = 0; i < 1000000; ++i) {
+    r.fase_boundary();
+    const LineAddr now = r.rename(4);
+    ASSERT_NE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace nvc::core

@@ -1,0 +1,271 @@
+// Unit tests for the hardware-cache simulator and the cycle cost model.
+#include <gtest/gtest.h>
+
+#include "hwsim/cache_sim.hpp"
+#include "hwsim/contention.hpp"
+#include "hwsim/cost_model.hpp"
+
+namespace nvc::hwsim {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig c;
+  c.size_bytes = 4 * 64;  // 4 lines
+  c.associativity = 2;    // 2 sets x 2 ways
+  return c;
+}
+
+TEST(CacheSim, HitAfterFill) {
+  CacheSim cache(tiny_cache());
+  EXPECT_FALSE(cache.access(1, false));  // cold miss
+  EXPECT_TRUE(cache.access(1, false));   // hit
+  EXPECT_EQ(cache.stats().accesses, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  CacheSim cache(tiny_cache());
+  // Lines 0, 2, 4 all map to set 0 (2 sets). Third one evicts the LRU (0).
+  cache.access(0, false);
+  cache.access(2, false);
+  cache.access(4, false);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheSim, TouchRefreshesLru) {
+  CacheSim cache(tiny_cache());
+  cache.access(0, false);
+  cache.access(2, false);
+  cache.access(0, false);  // 0 becomes MRU
+  cache.access(4, false);  // evicts 2, not 0
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(CacheSim, DirtyEvictionCountsWriteback) {
+  CacheSim cache(tiny_cache());
+  cache.access(0, true);   // dirty
+  cache.access(2, false);
+  cache.access(4, false);  // evicts dirty 0
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheSim, CleanEvictionNoWriteback) {
+  CacheSim cache(tiny_cache());
+  cache.access(0, false);
+  cache.access(2, false);
+  cache.access(4, false);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(CacheSim, ClflushInvalidatesAndWritesBack) {
+  CacheSim cache(tiny_cache());
+  cache.access(0, true);
+  EXPECT_TRUE(cache.clflush(0));
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_EQ(cache.stats().flush_writebacks, 1u);
+  // Flushing an absent line is a no-op returning false.
+  EXPECT_FALSE(cache.clflush(0));
+  // The indirect cost: the next access to 0 is a miss again.
+  EXPECT_FALSE(cache.access(0, false));
+}
+
+TEST(CacheSim, ClwbWritesBackButKeepsLine) {
+  CacheSim cache(tiny_cache());
+  cache.access(0, true);
+  EXPECT_TRUE(cache.clwb(0));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_EQ(cache.stats().flush_writebacks, 1u);
+  EXPECT_TRUE(cache.access(0, false));  // still a hit
+  // Now clean: a second clwb writes back nothing.
+  cache.clwb(0);
+  EXPECT_EQ(cache.stats().flush_writebacks, 1u);
+}
+
+TEST(CacheSim, ContentionInjectionRaisesMissRatio) {
+  CacheConfig base;
+  base.size_bytes = 32 * 1024;
+  base.associativity = 8;
+  CacheConfig noisy = base;
+  noisy.contention_prob = 0.3;
+
+  auto run = [](const CacheConfig& cfg) {
+    CacheSim cache(cfg);
+    // Loop over a footprint that fits comfortably: without noise it should
+    // hit nearly always after warmup.
+    for (int rep = 0; rep < 50; ++rep) {
+      for (LineAddr line = 0; line < 64; ++line) cache.access(line, true);
+    }
+    return cache.stats().miss_ratio();
+  };
+
+  EXPECT_LT(run(base), 0.05);
+  EXPECT_GT(run(noisy), run(base) + 0.05);
+}
+
+TEST(CacheSim, ContentionLevelsMonotoneInThreads) {
+  double prev = -1.0;
+  for (std::size_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double p = contention_for_threads(t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_EQ(contention_for_threads(1), 0.0);
+}
+
+TEST(CacheSim, ClearDropsEverythingSilently) {
+  CacheSim cache(tiny_cache());
+  cache.access(0, true);
+  cache.access(1, true);
+  cache.clear();
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().writebacks, 0u);  // clear is not a writeback
+}
+
+TEST(CacheSim, ResetStatsKeepsContents) {
+  CacheSim cache(tiny_cache());
+  cache.access(0, true);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(CoreSim, DefaultL2IsEightTimesL1) {
+  CacheConfig l1;
+  l1.size_bytes = 32 * 1024;
+  const CacheConfig l2 = CoreSim::default_l2(l1);
+  EXPECT_EQ(l2.size_bytes, 8u * 32 * 1024);
+  EXPECT_EQ(l2.associativity, l1.associativity);
+}
+
+// --- CoreSim ---------------------------------------------------------------------
+
+TEST(CoreSim, ExecuteChargesCpi) {
+  CostParams params;
+  params.cpi = 2.0;
+  CoreSim core(params);
+  core.execute(100);
+  EXPECT_DOUBLE_EQ(core.cycles(), 200.0);
+  EXPECT_EQ(core.counters().instructions, 100u);
+}
+
+TEST(CoreSim, MissPenaltyChargedSingleLevel) {
+  CostParams params;
+  params.cpi = 1.0;
+  params.l1_miss_penalty = 30;
+  params.enable_l2 = false;
+  CoreSim core(params);
+  core.memory_access(1, true);  // cold miss: 1 + 30
+  EXPECT_DOUBLE_EQ(core.cycles(), 31.0);
+  core.memory_access(1, true);  // hit: 1
+  EXPECT_DOUBLE_EQ(core.cycles(), 32.0);
+}
+
+TEST(CoreSim, TwoLevelHierarchyPenalties) {
+  CostParams params;
+  params.cpi = 1.0;
+  params.l2_hit_penalty = 12;
+  params.memory_penalty = 60;
+  CacheConfig tiny;
+  tiny.size_bytes = 2 * 64;  // 2-line L1 (L2 = 16 lines)
+  tiny.associativity = 2;
+  CoreSim core(params, tiny);
+  core.memory_access(1, true);  // cold: 1 + 12 + 60
+  EXPECT_DOUBLE_EQ(core.cycles(), 73.0);
+  core.memory_access(1, true);  // L1 hit: 1
+  EXPECT_DOUBLE_EQ(core.cycles(), 74.0);
+  // Evict line 1 from the tiny L1 (lines 3, 5 share its set) but not L2.
+  core.memory_access(3, false);
+  core.memory_access(5, false);
+  const double before = core.cycles();
+  core.memory_access(1, false);  // L1 miss, L2 hit: 1 + 12
+  EXPECT_DOUBLE_EQ(core.cycles(), before + 13.0);
+  EXPECT_EQ(core.l2_stats().hits, 1u);
+}
+
+TEST(CoreSim, FlushInvalidatesBothLevels) {
+  CostParams params;
+  CoreSim core(params);
+  core.memory_access(1, true);
+  core.flush(1);
+  EXPECT_FALSE(core.l1().contains(1));
+  EXPECT_FALSE(core.l2().contains(1));
+  // clwb semantics keeps both levels resident.
+  CostParams keep;
+  keep.invalidate_on_flush = false;
+  CoreSim core2(keep);
+  core2.memory_access(1, true);
+  core2.flush(1);
+  EXPECT_TRUE(core2.l1().contains(1));
+  EXPECT_TRUE(core2.l2().contains(1));
+}
+
+TEST(CoreSim, AsyncFlushOverlapsUntilBacklogFills) {
+  CostParams params;
+  params.cpi = 1.0;
+  params.flush_issue = 10;
+  params.nvram_write = 100;
+  params.max_backlog = 2;
+  CoreSim core(params);
+  // First flush: issue cost only (engine works in background).
+  core.flush(1);
+  EXPECT_DOUBLE_EQ(core.cycles(), 10.0);
+  EXPECT_EQ(core.counters().stall_cycles, 0u);
+  // Saturate: flushing much faster than the engine drains must stall.
+  for (LineAddr l = 2; l < 50; ++l) core.flush(l);
+  EXPECT_GT(core.counters().stall_cycles, 0u);
+}
+
+TEST(CoreSim, DrainWaitsForEngine) {
+  CostParams params;
+  params.flush_issue = 10;
+  params.nvram_write = 1000;
+  params.fence = 5;
+  CoreSim core(params);
+  core.flush(1);
+  const double before = core.cycles();
+  core.drain();
+  // Drain must wait for the outstanding NVRAM write (~1000 cycles).
+  EXPECT_GT(core.cycles(), before + 900);
+  EXPECT_EQ(core.counters().fences, 1u);
+}
+
+TEST(CoreSim, DrainWithIdleEngineIsCheap) {
+  CostParams params;
+  params.fence = 5;
+  CoreSim core(params);
+  core.drain();
+  EXPECT_DOUBLE_EQ(core.cycles(), 5.0);
+}
+
+TEST(CoreSim, ComputeBetweenFlushesHidesNvramLatency) {
+  // The eager benefit (paper Section I): flushes spread between computation
+  // cost only their issue overhead, while the same flushes back-to-back
+  // stall on the write engine.
+  CostParams params;
+  params.flush_issue = 10;
+  params.nvram_write = 500;
+  params.max_backlog = 4;
+
+  CoreSim spread(params);
+  for (int i = 0; i < 20; ++i) {
+    spread.execute(1000);  // plenty of time for the engine to drain
+    spread.flush(static_cast<LineAddr>(i));
+  }
+  spread.drain();
+
+  CoreSim burst(params);
+  burst.execute(20 * 1000);
+  for (int i = 0; i < 20; ++i) burst.flush(static_cast<LineAddr>(i));
+  burst.drain();
+
+  EXPECT_LT(spread.cycles(), burst.cycles());
+}
+
+}  // namespace
+}  // namespace nvc::hwsim

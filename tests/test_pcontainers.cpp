@@ -1,0 +1,163 @@
+// Tests for the persistent containers (runtime/pcontainers): durability
+// across runtime re-opens and failure atomicity of container mutations.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+#include "pmem/pmem_region.hpp"
+#include "runtime/pcontainers.hpp"
+
+namespace nvc::runtime {
+namespace {
+
+std::string unique_name(const char* base) {
+  static int counter = 0;
+  return std::string(base) + "." + std::to_string(::getpid()) + "." +
+         std::to_string(counter++);
+}
+
+RuntimeConfig config_for(const std::string& name, bool fresh = true,
+                         bool logging = false) {
+  RuntimeConfig config;
+  config.region_name = name;
+  config.region_size = 8u << 20;
+  config.fresh = fresh;
+  config.undo_logging = logging;
+  config.policy = core::PolicyKind::kSoftCacheOffline;
+  config.flush = pmem::FlushKind::kCountOnly;
+  return config;
+}
+
+struct PContainersTest : public ::testing::Test {
+  PContainersTest() : name(unique_name("pcont")) {}
+  ~PContainersTest() override {
+    pmem::PmemRegion::destroy(name);
+    pmem::PmemRegion::destroy(name + ".log");
+  }
+  std::string name;
+};
+
+TEST_F(PContainersTest, PushPopIndex) {
+  Runtime rt(config_for(name));
+  auto vec = PVector<int>::create(rt, 16);
+  EXPECT_TRUE(vec.empty());
+  {
+    FaseScope fase(rt);
+    for (int i = 0; i < 10; ++i) vec.push_back(i * i);
+  }
+  EXPECT_EQ(vec.size(), 10u);
+  EXPECT_EQ(vec[3], 9);
+  EXPECT_EQ(vec[9], 81);
+  {
+    FaseScope fase(rt);
+    vec.pop_back();
+    vec.assign(0, -1);
+  }
+  EXPECT_EQ(vec.size(), 9u);
+  EXPECT_EQ(vec[0], -1);
+  rt.destroy_storage();
+}
+
+TEST_F(PContainersTest, IterationMatchesContents) {
+  Runtime rt(config_for(name));
+  auto vec = PVector<double>::create(rt, 8);
+  {
+    FaseScope fase(rt);
+    vec.push_back(1.5);
+    vec.push_back(2.5);
+  }
+  double sum = 0;
+  for (const double v : vec) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  rt.destroy_storage();
+}
+
+TEST_F(PContainersTest, CapacityEnforced) {
+  Runtime rt(config_for(name));
+  auto vec = PVector<int>::create(rt, 2);
+  FaseScope fase(rt);
+  vec.push_back(1);
+  vec.push_back(2);
+  EXPECT_DEATH(vec.push_back(3), "full");
+  rt.destroy_storage();
+}
+
+TEST_F(PContainersTest, SurvivesRuntimeReopen) {
+  {
+    Runtime rt(config_for(name));
+    auto vec = PVector<std::uint64_t>::create(rt, 32);
+    {
+      FaseScope fase(rt);
+      for (std::uint64_t i = 0; i < 5; ++i) vec.push_back(i + 100);
+    }
+    rt.set_root(vec.root());
+    rt.thread_flush();
+  }
+  Runtime rt(config_for(name, /*fresh=*/false));
+  auto vec = PVector<std::uint64_t>::open(rt, rt.get_root());
+  ASSERT_EQ(vec.size(), 5u);
+  EXPECT_EQ(vec[0], 100u);
+  EXPECT_EQ(vec[4], 104u);
+  rt.destroy_storage();
+}
+
+TEST_F(PContainersTest, OpenRejectsForeignMemory) {
+  Runtime rt(config_for(name));
+  auto* garbage = rt.pm_alloc(256);
+  EXPECT_DEATH((void)PVector<int>::open(rt, garbage), "not a PVector");
+  rt.destroy_storage();
+}
+
+TEST_F(PContainersTest, PushBackIsFailureAtomicWithUndoLog) {
+  std::uint64_t root_offset = 0;
+  {
+    Runtime rt(config_for(name, true, /*logging=*/true));
+    auto vec = PVector<int>::create(rt, 8);
+    rt.set_root(vec.root());
+    root_offset = rt.allocator().offset_of(vec.root());
+    {
+      FaseScope fase(rt);
+      vec.push_back(1);
+    }
+    // Crash mid-FASE: the push below must be rolled back entirely — both
+    // the element write and the size bump.
+    rt.fase_begin();
+    vec.push_back(2);
+    EXPECT_EQ(vec.size(), 2u);
+    // Runtime destroyed with the FASE open (process kill).
+  }
+  Runtime rt(config_for(name, /*fresh=*/false, /*logging=*/true));
+  ASSERT_TRUE(rt.needs_recovery());
+  rt.recover();
+  auto vec =
+      PVector<int>::open(rt, rt.allocator().resolve(root_offset));
+  EXPECT_EQ(vec.size(), 1u);  // the uncommitted push is gone
+  EXPECT_EQ(vec[0], 1);
+  rt.destroy_storage();
+}
+
+TEST_F(PContainersTest, CounterPersistsAndSaturates) {
+  {
+    Runtime rt(config_for(name));
+    auto counter = PCounter::create(rt);
+    rt.set_root(counter.root());
+    FaseScope fase(rt);
+    counter.add(7);
+    counter.add(3);
+    EXPECT_EQ(counter.get(), 10u);
+  }
+  Runtime rt(config_for(name, /*fresh=*/false));
+  auto counter = PCounter::open(rt, rt.get_root());
+  EXPECT_EQ(counter.get(), 10u);
+  {
+    FaseScope fase(rt);
+    counter.add(~std::uint64_t{0});  // overflow saturates
+  }
+  EXPECT_EQ(counter.get(), ~std::uint64_t{0});
+  rt.destroy_storage();
+}
+
+}  // namespace
+}  // namespace nvc::runtime

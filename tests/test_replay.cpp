@@ -1,0 +1,156 @@
+// Tests for the trace-replay layer (workloads/replay): flush-count replay,
+// cost-model replay, aggregation, and barrier-event semantics.
+#include <gtest/gtest.h>
+
+#include "workloads/replay.hpp"
+
+namespace nvc::workloads {
+namespace {
+
+ThreadTrace trace_of(std::initializer_list<TraceEvent> events) {
+  ThreadTrace t;
+  for (const TraceEvent& ev : events) {
+    t.events.push_back(ev);
+    if (ev.kind == TraceEvent::Kind::kStore) ++t.store_count;
+    if (ev.kind == TraceEvent::Kind::kFaseEnd) ++t.fase_count;
+  }
+  return t;
+}
+
+TraceEvent store(LineAddr line) {
+  return TraceEvent{TraceEvent::Kind::kStore, line};
+}
+TraceEvent begin() { return TraceEvent{TraceEvent::Kind::kFaseBegin, 0}; }
+TraceEvent end() { return TraceEvent{TraceEvent::Kind::kFaseEnd, 0}; }
+TraceEvent barrier() { return TraceEvent{TraceEvent::Kind::kBarrier, 0}; }
+TraceEvent compute(std::uint64_t n) {
+  return TraceEvent{TraceEvent::Kind::kCompute, n};
+}
+
+TEST(ReplayFlushCount, CountsLazyPerFase) {
+  const auto t = trace_of({begin(), store(1), store(2), store(1), end(),
+                           begin(), store(1), end()});
+  const auto r = replay_flush_count(t, core::PolicyKind::kLazy);
+  EXPECT_EQ(r.stores, 4u);
+  EXPECT_EQ(r.fases, 2u);
+  EXPECT_EQ(r.flushes, 3u);  // {1,2} then {1}
+}
+
+TEST(ReplayFlushCount, BarrierFlushesBufferedLines) {
+  // Lazy with a mid-FASE barrier: the barrier flushes {1,2}; the post-
+  // barrier rewrite of line 1 must be flushed again at FASE end.
+  const auto t = trace_of(
+      {begin(), store(1), store(2), barrier(), store(1), end()});
+  const auto r = replay_flush_count(t, core::PolicyKind::kLazy);
+  EXPECT_EQ(r.flushes, 3u);
+}
+
+TEST(ReplayFlushCount, BarrierClearsSoftwareCache) {
+  core::PolicyConfig config;
+  config.cache_size = 8;
+  const auto t = trace_of(
+      {begin(), store(1), store(1), barrier(), store(1), end()});
+  const auto r = replay_flush_count(
+      t, core::PolicyKind::kSoftCacheOffline, config);
+  // Two combinable runs separated by the barrier: 2 flushes.
+  EXPECT_EQ(r.flushes, 2u);
+  EXPECT_EQ(r.stores, 3u);
+}
+
+TEST(ReplayFlushCount, UnterminatedFaseFlushedByFinish) {
+  const auto t = trace_of({begin(), store(5)});
+  const auto r = replay_flush_count(t, core::PolicyKind::kLazy);
+  EXPECT_EQ(r.flushes, 1u);  // finish() drains the pending set
+}
+
+TEST(ReplayCostModel, ComputeEventsBecomeCycles) {
+  const auto t = trace_of({begin(), compute(1000), end()});
+  SimConfig config;
+  const auto r =
+      replay_cost_model(t, core::PolicyKind::kBest, config, /*seed=*/1);
+  EXPECT_GE(r.cycles, 1000.0);
+  EXPECT_EQ(r.instructions, 1000u);
+  EXPECT_EQ(r.flushes, 0u);
+}
+
+TEST(ReplayCostModel, FlushesCostMoreThanBuffering) {
+  ThreadTrace t;
+  t.events.push_back(begin());
+  for (int rep = 0; rep < 100; ++rep) {
+    for (LineAddr l = 1; l <= 10; ++l) {
+      t.events.push_back(store(l));
+      ++t.store_count;
+    }
+  }
+  t.events.push_back(end());
+  ++t.fase_count;
+
+  SimConfig config;
+  config.policy.cache_size = 16;
+  const auto eager =
+      replay_cost_model(t, core::PolicyKind::kEager, config, 1);
+  const auto cached = replay_cost_model(
+      t, core::PolicyKind::kSoftCacheOffline, config, 1);
+  EXPECT_GT(eager.cycles, 2 * cached.cycles);
+  EXPECT_EQ(eager.flushes, 1000u);
+  EXPECT_EQ(cached.flushes, 10u);
+}
+
+TEST(ReplayCostModel, PolicyInstructionsChargedToCore) {
+  ThreadTrace t;
+  t.events.push_back(begin());
+  for (int i = 0; i < 100; ++i) {
+    t.events.push_back(store(static_cast<LineAddr>(i % 4 + 1)));
+    ++t.store_count;
+  }
+  t.events.push_back(end());
+
+  SimConfig config;
+  const auto best = replay_cost_model(t, core::PolicyKind::kBest, config, 1);
+  const auto sc = replay_cost_model(
+      t, core::PolicyKind::kSoftCacheOffline, config, 1);
+  // SC executes its bookkeeping on top of the same accesses.
+  EXPECT_GT(sc.instructions, best.instructions + 100 * 10);
+}
+
+TEST(SimRunResultAggregation, MakespanIsSlowest) {
+  SimRunResult run;
+  SimThreadResult a;
+  a.cycles = 100;
+  a.stores = 10;
+  a.flushes = 2;
+  a.instructions = 50;
+  SimThreadResult b;
+  b.cycles = 300;
+  b.stores = 30;
+  b.flushes = 4;
+  b.instructions = 70;
+  run.threads = {a, b};
+  EXPECT_DOUBLE_EQ(run.makespan_cycles(), 300.0);
+  EXPECT_EQ(run.total_stores(), 40u);
+  EXPECT_EQ(run.total_flushes(), 6u);
+  EXPECT_EQ(run.total_instructions(), 120u);
+  EXPECT_NEAR(run.flush_ratio(), 6.0 / 40.0, 1e-12);
+}
+
+TEST(SimRunResultAggregation, L1RatioWeightedByAccesses) {
+  SimRunResult run;
+  SimThreadResult a;
+  a.l1.accesses = 100;
+  a.l1.misses = 10;
+  SimThreadResult b;
+  b.l1.accesses = 300;
+  b.l1.misses = 90;
+  run.threads = {a, b};
+  EXPECT_NEAR(run.l1_miss_ratio(), 100.0 / 400.0, 1e-12);
+}
+
+TEST(SimRunResultAggregation, EmptyRunIsZero) {
+  SimRunResult run;
+  EXPECT_DOUBLE_EQ(run.makespan_cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(run.flush_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(run.l1_miss_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace nvc::workloads

@@ -1,0 +1,102 @@
+// Tests for the SHARDS-style sampled reuse-distance MRC (core/shards).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/shards.hpp"
+
+namespace nvc::core {
+namespace {
+
+std::vector<LineAddr> loop_trace(std::size_t working_set, std::size_t reps) {
+  std::vector<LineAddr> trace;
+  trace.reserve(working_set * reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (LineAddr a = 0; a < working_set; ++a) trace.push_back(a * 977 + 3);
+  }
+  return trace;
+}
+
+TEST(Shards, FullRateMatchesExactMattson) {
+  // threshold == modulus samples everything: must equal the exact MRC.
+  Rng rng(9);
+  std::vector<LineAddr> trace;
+  for (int i = 0; i < 3000; ++i) trace.push_back(rng.below(40));
+  ShardsConfig config;
+  config.threshold = 16;
+  config.modulus = 16;
+  const Mrc sampled = mrc_shards(trace, 50, config);
+  const Mrc exact = mrc_exact_lru(trace, 50);
+  for (std::size_t c = 1; c <= 50; ++c) {
+    EXPECT_NEAR(sampled.at(c), exact.at(c), 1e-12) << c;
+  }
+}
+
+TEST(Shards, SamplingIsSpatial) {
+  // The same address is either always or never sampled.
+  ShardsConfig config;
+  config.threshold = 1;
+  config.modulus = 4;
+  for (LineAddr a = 0; a < 1000; ++a) {
+    const bool first = shards_samples(a, config);
+    EXPECT_EQ(first, shards_samples(a, config));
+  }
+}
+
+TEST(Shards, SampleRateApproximatesConfig) {
+  ShardsConfig config;
+  config.threshold = 1;
+  config.modulus = 8;
+  std::size_t sampled = 0;
+  for (LineAddr a = 0; a < 100000; ++a) {
+    if (shards_samples(a, config)) ++sampled;
+  }
+  EXPECT_NEAR(static_cast<double>(sampled) / 100000.0, 0.125, 0.01);
+}
+
+TEST(Shards, QuarterRateFindsTheLoopKnee) {
+  // 40-line loop: the exact MRC cliffs at 40; the sampled estimate must
+  // cliff in the same region.
+  const auto trace = loop_trace(40, 200);
+  ShardsConfig config;
+  config.threshold = 1;
+  config.modulus = 4;
+  const Mrc sampled = mrc_shards(trace, 50, config);
+  EXPECT_GT(sampled.at(30), 0.8);  // below the loop: thrash
+  EXPECT_LT(sampled.at(48), 0.2);  // above it: hits
+}
+
+TEST(Shards, EstimateTracksExactOnSkewedTraffic) {
+  Rng rng(4);
+  std::vector<LineAddr> trace;
+  for (int i = 0; i < 60000; ++i) {
+    const double u = rng.uniform();
+    trace.push_back(static_cast<LineAddr>(u * u * 120));
+  }
+  ShardsConfig config;
+  config.threshold = 1;
+  config.modulus = 4;
+  const Mrc sampled = mrc_shards(trace, 50, config);
+  const Mrc exact = mrc_exact_lru(trace, 50);
+  // Pointwise agreement within a few percent at representative sizes.
+  for (const std::size_t c : {5u, 10u, 20u, 35u, 50u}) {
+    EXPECT_NEAR(sampled.at(c), exact.at(c), 0.09) << "size " << c;  // 1/4-rate variance
+  }
+}
+
+TEST(Shards, NoSampledAddressesYieldsAllMisses) {
+  // A trace whose addresses all hash outside the threshold: the estimator
+  // degrades to "no information" (miss ratio 1) rather than crashing.
+  ShardsConfig config;
+  config.threshold = 1;
+  config.modulus = 1u << 30;  // nothing realistically sampled
+  std::vector<LineAddr> trace(100, 7);
+  if (!shards_samples(7, config)) {
+    const Mrc mrc = mrc_shards(trace, 10, config);
+    for (std::size_t c = 1; c <= 10; ++c) EXPECT_DOUBLE_EQ(mrc.at(c), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nvc::core

@@ -1,0 +1,95 @@
+// Tests for thread grouping by write-locality similarity (core/thread_groups,
+// the paper's Section III-C future-work extension).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/thread_groups.hpp"
+
+namespace nvc::core {
+namespace {
+
+Mrc step(std::size_t knee, std::size_t max_size = 50, double high = 0.9,
+         double low = 0.1) {
+  std::vector<double> mr(max_size);
+  for (std::size_t c = 1; c <= max_size; ++c) {
+    mr[c - 1] = c < knee ? high : low;
+  }
+  return Mrc(std::move(mr));
+}
+
+TEST(MrcDistance, ZeroForIdenticalCurves) {
+  EXPECT_DOUBLE_EQ(mrc_distance(step(10), step(10)), 0.0);
+}
+
+TEST(MrcDistance, GrowsWithKneeSeparation) {
+  const double near = mrc_distance(step(10), step(12));
+  const double far = mrc_distance(step(10), step(40));
+  EXPECT_LT(near, far);
+  EXPECT_GT(far, 0.3);
+}
+
+TEST(ThreadGroups, IdenticalThreadsCollapseToOneGroup) {
+  const std::vector<Mrc> mrcs(8, step(23));
+  const ThreadGroups groups = group_threads(mrcs);
+  EXPECT_EQ(groups.num_groups(), 1u);
+  for (const std::size_t g : groups.group_of) EXPECT_EQ(g, 0u);
+  EXPECT_EQ(groups.group_size[0], 23u);
+}
+
+TEST(ThreadGroups, DistinctLocalitiesStaySeparate) {
+  std::vector<Mrc> mrcs{step(5), step(5), step(40), step(40)};
+  const ThreadGroups groups = group_threads(mrcs);
+  EXPECT_EQ(groups.num_groups(), 2u);
+  EXPECT_EQ(groups.group_of[0], groups.group_of[1]);
+  EXPECT_EQ(groups.group_of[2], groups.group_of[3]);
+  EXPECT_NE(groups.group_of[0], groups.group_of[2]);
+  // Each group's size matches its knee.
+  const std::size_t g01 = groups.group_of[0];
+  const std::size_t g23 = groups.group_of[2];
+  EXPECT_EQ(groups.group_size[g01], 5u);
+  EXPECT_EQ(groups.group_size[g23], 40u);
+}
+
+TEST(ThreadGroups, NearIdenticalCurvesMergeWithinTolerance) {
+  // Knees at 20 and 21 differ at a single size: distance 0.8/50 = 0.016,
+  // inside the default 0.05 tolerance.
+  std::vector<Mrc> mrcs{step(20), step(21)};
+  const ThreadGroups groups = group_threads(mrcs);
+  EXPECT_EQ(groups.num_groups(), 1u);
+}
+
+TEST(ThreadGroups, ZeroToleranceKeepsSingletons) {
+  std::vector<Mrc> mrcs{step(20), step(21), step(22)};
+  ThreadGroupConfig config;
+  config.merge_tolerance = 0.0;
+  const ThreadGroups groups = group_threads(mrcs, config);
+  EXPECT_EQ(groups.num_groups(), 3u);
+}
+
+TEST(ThreadGroups, SingleThread) {
+  const ThreadGroups groups = group_threads({step(8)});
+  EXPECT_EQ(groups.num_groups(), 1u);
+  EXPECT_EQ(groups.group_size[0], 8u);
+}
+
+TEST(ThreadGroups, GroupSizeSelectedFromMergedCurve) {
+  // Two curves whose average still has the dominant knee at 25.
+  std::vector<Mrc> mrcs{step(25, 50, 0.9, 0.1), step(25, 50, 0.85, 0.12)};
+  const ThreadGroups groups = group_threads(mrcs);
+  ASSERT_EQ(groups.num_groups(), 1u);
+  EXPECT_EQ(groups.group_size[0], 25u);
+}
+
+TEST(ThreadGroups, ManyThreadsTwoPhasesScaleDown) {
+  // 16 threads, half with small knees, half with large ones: sampling cost
+  // collapses from 16 analyses to 2.
+  std::vector<Mrc> mrcs;
+  for (int i = 0; i < 8; ++i) mrcs.push_back(step(6));
+  for (int i = 0; i < 8; ++i) mrcs.push_back(step(35));
+  const ThreadGroups groups = group_threads(mrcs);
+  EXPECT_EQ(groups.num_groups(), 2u);
+}
+
+}  // namespace
+}  // namespace nvc::core

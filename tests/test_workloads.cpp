@@ -1,0 +1,266 @@
+// Tests for the workload layer: trace recording, determinism, replay through
+// policies, the cost-model replay, and the paper's qualitative per-workload
+// properties (flush-ratio ordering, FASE scaling with threads).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "workloads/replay.hpp"
+#include "workloads/workload.hpp"
+
+namespace nvc::workloads {
+namespace {
+
+WorkloadParams quick_params(std::size_t threads = 1) {
+  WorkloadParams p;
+  p.threads = threads;
+  p.seed = 7;
+  p.full = false;
+  return p;
+}
+
+TraceApi record(const std::string& name, const WorkloadParams& p,
+                std::size_t arena_mb = 64) {
+  TraceApi api(p.threads, arena_mb << 20);
+  make_workload(name)->run(api, p);
+  return api;
+}
+
+TEST(Registry, AllElevenWorkloadsRegistered) {
+  const auto names = workload_names();
+  EXPECT_EQ(names.size(), 11u);
+  for (const auto& name : names) {
+    EXPECT_NE(make_workload(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("radiosity"), std::out_of_range);
+}
+
+TEST(TraceApiTest, RecordsStoresAndFases) {
+  TraceApi api(1);
+  auto* p = static_cast<std::uint64_t*>(api.alloc(0, 64));
+  {
+    ApiFase fase(api, 0);
+    api.store(0, p[0], std::uint64_t{1});
+    api.store(0, p[1], std::uint64_t{2});  // same line: two store events
+  }
+  const ThreadTrace& t = api.trace(0);
+  EXPECT_EQ(t.store_count, 2u);
+  EXPECT_EQ(t.fase_count, 1u);
+  std::vector<LineAddr> stores;
+  std::vector<std::size_t> boundaries;
+  t.store_trace(&stores, &boundaries);
+  ASSERT_EQ(stores.size(), 2u);
+  EXPECT_EQ(stores[0], stores[1]);  // same cache line
+  EXPECT_EQ(boundaries, (std::vector<std::size_t>{2}));
+}
+
+TEST(TraceApiTest, MultiLineWroteSplitsPerLine) {
+  TraceApi api(1);
+  auto* p = api.alloc(0, 256);
+  ApiFase fase(api, 0);
+  api.wrote(0, p, 130);  // 64-aligned arena: 3 lines
+  EXPECT_EQ(api.trace(0).store_count, 3u);
+}
+
+TEST(TraceApiTest, ComputeEventsCoalesce) {
+  TraceApi api(1);
+  api.compute(0, 10);
+  api.compute(0, 20);
+  EXPECT_EQ(api.trace(0).events.size(), 1u);
+  EXPECT_EQ(api.trace(0).compute_instr, 30u);
+}
+
+TEST(TraceApiTest, ArenaAllocationsAreLineAligned) {
+  TraceApi api(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(api.alloc(0, 17));
+    EXPECT_EQ(addr % kCacheLineSize, 0u);
+  }
+}
+
+// --- determinism -------------------------------------------------------------------
+
+class WorkloadDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadDeterminism, SameSeedSameTrace) {
+  const auto p = quick_params();
+  const TraceApi a = record(GetParam(), p);
+  const TraceApi b = record(GetParam(), p);
+  ASSERT_EQ(a.trace(0).events.size(), b.trace(0).events.size());
+  ASSERT_EQ(a.total_stores(), b.total_stores());
+  for (std::size_t i = 0; i < a.trace(0).events.size(); ++i) {
+    const auto& ea = a.trace(0).events[i];
+    const auto& eb = b.trace(0).events[i];
+    ASSERT_EQ(static_cast<int>(ea.kind), static_cast<int>(eb.kind)) << i;
+    if (ea.kind == TraceEvent::Kind::kStore ||
+        ea.kind == TraceEvent::Kind::kLoad) {
+      // Arena allocation order is deterministic, so line addresses match
+      // relative to the arena base; compare offsets by subtracting bases.
+      ASSERT_EQ(ea.value - a.arena_base_line(), eb.value - b.arena_base_line())
+          << i;
+    } else {
+      ASSERT_EQ(ea.value, eb.value) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDeterminism,
+                         ::testing::Values("persistent-array", "queue",
+                                           "hash", "linked-list", "ocean",
+                                           "volrend"));
+
+// --- workload sanity ----------------------------------------------------------------
+
+class WorkloadSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSanity, ProducesStoresAndFases) {
+  const auto p = quick_params();
+  const TraceApi api = record(GetParam(), p);
+  EXPECT_GT(api.total_stores(), 1000u) << GetParam();
+  std::uint64_t fases = 0;
+  for (std::size_t tid = 0; tid < api.threads(); ++tid) {
+    fases += api.trace(tid).fase_count;
+  }
+  EXPECT_GE(fases, 1u) << GetParam();
+}
+
+TEST_P(WorkloadSanity, FlushRatioOrderingHolds) {
+  // Paper Table III ordering per benchmark: LA <= SC* <= AT <= ER = 1.
+  // (SC* = SC-offline at its knee; online SC converges to it.)
+  const auto p = quick_params();
+  const TraceApi api = record(GetParam(), p);
+
+  core::PolicyConfig config;
+  config.atlas_table_size = 8;
+  const auto er = replay_flush_count_all(api, core::PolicyKind::kEager);
+  const auto la = replay_flush_count_all(api, core::PolicyKind::kLazy);
+  const auto at =
+      replay_flush_count_all(api, core::PolicyKind::kAtlas, config);
+
+  // Choose SC's size from the recorded trace (offline analysis), exactly as
+  // SC-offline does.
+  std::vector<LineAddr> stores;
+  std::vector<std::size_t> boundaries;
+  api.trace(0).store_trace(&stores, &boundaries);
+  const auto knee = core::BurstSampler::analyze_offline(
+      stores, boundaries, core::KneeConfig{}, nullptr);
+  config.cache_size = knee.chosen_size;
+  const auto sc = replay_flush_count_all(
+      api, core::PolicyKind::kSoftCacheOffline, config);
+
+  EXPECT_DOUBLE_EQ(er.flush_ratio(), 1.0) << GetParam();
+  EXPECT_LE(la.flushes, sc.flushes) << GetParam();
+  EXPECT_LE(sc.flushes, at.flushes * 11 / 10) << GetParam();  // SC <~ AT
+  EXPECT_LE(at.flushes, er.flushes) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSanity,
+                         ::testing::Values("linked-list", "persistent-array",
+                                           "queue", "hash", "barnes", "fmm",
+                                           "ocean", "raytrace", "volrend",
+                                           "water-nsquared",
+                                           "water-spatial"));
+
+// --- paper-specific shapes -----------------------------------------------------------
+
+TEST(PersistentArray, AtlasFlushRatioNearOneSixteenth) {
+  // Paper Section IV-B: Atlas removes ~15/16 of flushes on persistent-array
+  // (16 ints per line); SC at the working-set size removes almost all.
+  const TraceApi api = record("persistent-array", quick_params());
+  core::PolicyConfig config;
+  config.atlas_table_size = 8;
+  const auto at =
+      replay_flush_count_all(api, core::PolicyKind::kAtlas, config);
+  EXPECT_NEAR(at.flush_ratio(), 0.0625, 0.01);
+
+  config.cache_size = 26;
+  const auto sc = replay_flush_count_all(
+      api, core::PolicyKind::kSoftCacheOffline, config);
+  EXPECT_LT(sc.flush_ratio(), 0.001);
+}
+
+TEST(StrongScaling, TotalStoresStableFasesGrowWithThreads) {
+  // Paper Table IV analysis: SPLASH2 is strong scaling — stores stay ~the
+  // same while FASE count grows with the thread count.
+  const TraceApi one = record("ocean", quick_params(1));
+  const TraceApi four = record("ocean", quick_params(4));
+
+  auto totals = [](const TraceApi& api) {
+    std::uint64_t stores = 0, fases = 0;
+    for (std::size_t t = 0; t < api.threads(); ++t) {
+      stores += api.trace(t).store_count;
+      fases += api.trace(t).fase_count;
+    }
+    return std::pair{stores, fases};
+  };
+  const auto [s1, f1] = totals(one);
+  const auto [s4, f4] = totals(four);
+  EXPECT_NEAR(static_cast<double>(s4) / static_cast<double>(s1), 1.0, 0.05);
+  EXPECT_GT(f4, f1 * 2);
+}
+
+// --- cost-model replay ----------------------------------------------------------------
+
+TEST(CostReplay, EagerSlowerThanBest) {
+  // Table I in miniature: ER pays for every flush; BEST pays none.
+  const TraceApi api = record("ocean", quick_params());
+  SimConfig sim;
+  const auto er = simulate_run(api, core::PolicyKind::kEager, sim);
+  const auto best = simulate_run(api, core::PolicyKind::kBest, sim);
+  EXPECT_GT(er.makespan_cycles(), 3.0 * best.makespan_cycles());
+}
+
+TEST(CostReplay, PolicySpeedOrdering) {
+  // Fig. 4 shape: BEST >= SC >= AT >= ER in speed (cycles inverted).
+  const TraceApi api = record("water-nsquared", quick_params());
+  SimConfig sim;
+  sim.policy.atlas_table_size = 8;
+  sim.policy.cache_size = 28;
+  const double er =
+      simulate_run(api, core::PolicyKind::kEager, sim).makespan_cycles();
+  const double at =
+      simulate_run(api, core::PolicyKind::kAtlas, sim).makespan_cycles();
+  const double sc = simulate_run(api, core::PolicyKind::kSoftCacheOffline,
+                                 sim).makespan_cycles();
+  const double best =
+      simulate_run(api, core::PolicyKind::kBest, sim).makespan_cycles();
+  EXPECT_LT(best, sc);
+  EXPECT_LT(sc, at);
+  EXPECT_LT(at, er);
+}
+
+TEST(CostReplay, ScInstructionOverheadModest) {
+  // Table IV: SC runs more instructions than AT, but within ~15%.
+  const TraceApi api = record("water-spatial", quick_params());
+  SimConfig sim;
+  sim.policy.cache_size = 23;
+  const auto at = simulate_run(api, core::PolicyKind::kAtlas, sim);
+  const auto sc =
+      simulate_run(api, core::PolicyKind::kSoftCacheOffline, sim);
+  const double ratio = static_cast<double>(sc.total_instructions()) /
+                       static_cast<double>(at.total_instructions());
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.2);
+}
+
+TEST(CostReplay, FlushCountsMatchCountingReplay) {
+  // The two replay substrates must agree on flush counts exactly.
+  const TraceApi api = record("hash", quick_params());
+  core::PolicyConfig config;
+  config.cache_size = 8;
+  SimConfig sim;
+  sim.policy = config;
+  const auto counted = replay_flush_count_all(
+      api, core::PolicyKind::kSoftCacheOffline, config);
+  const auto simulated =
+      simulate_run(api, core::PolicyKind::kSoftCacheOffline, sim);
+  EXPECT_EQ(simulated.total_flushes(), counted.flushes);
+  EXPECT_EQ(simulated.total_stores(), counted.stores);
+}
+
+}  // namespace
+}  // namespace nvc::workloads
