@@ -51,9 +51,11 @@ int main() {
         core::mrc_simulate_write_cache(stores, boundaries, max_size);
     const core::KneeFinder finder{core::KneeConfig{}};
 
-    // 1. The paper's timescale analysis.
+    // 1. The paper's timescale analysis (renamed ids are dense, so the
+    // direct-indexed interval extraction applies — same as analyze_burst).
     Stopwatch t1;
-    const auto intervals = core::intervals_of_trace(renamed);
+    const auto intervals = core::intervals_of_dense_trace(
+        renamed, static_cast<LineAddr>(renamed.size()));
     const auto reuse = core::compute_reuse_all_k(
         intervals, static_cast<LogicalTime>(renamed.size()));
     const core::Mrc timescale = core::mrc_from_reuse(reuse, max_size);

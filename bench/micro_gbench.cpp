@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/analyzer.hpp"
 #include "core/fase_trace.hpp"
 #include "core/mrc.hpp"
 #include "core/policy.hpp"
 #include "core/reuse_locality.hpp"
+#include "core/sampler.hpp"
 #include "core/write_cache.hpp"
 #include "pmem/flush.hpp"
 
@@ -23,6 +25,20 @@ std::vector<LineAddr> random_trace(std::size_t n, std::size_t distinct,
   Rng rng(seed);
   std::vector<LineAddr> trace(n);
   for (auto& a : trace) a = rng.below(distinct);
+  return trace;
+}
+
+/// A trace whose `distinct` lines are scattered across a 64 GiB line-address
+/// space, like real heap addresses — NOT the dense 0..distinct ids of
+/// random_trace(). The analysis kernels hash raw addresses like these; dense
+/// ids would flatter std::unordered_map's identity hash.
+std::vector<LineAddr> sparse_trace(std::size_t n, std::size_t distinct,
+                                   std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<LineAddr> lines(distinct);
+  for (auto& l : lines) l = rng.below(1ull << 30);
+  std::vector<LineAddr> trace(n);
+  for (auto& a : trace) a = lines[rng.below(distinct)];
   return trace;
 }
 
@@ -124,6 +140,96 @@ void BM_MattsonExactLru(benchmark::State& state) {
       static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_MattsonExactLru)->Range(1 << 12, 1 << 18);
+
+// --- burst-analysis throughput (the async pipeline's kernels) ---------------
+
+void BM_IntervalExtractionSparse(benchmark::State& state) {
+  // Raw (unrenamed) addresses: the flat-hash path of intervals_of_trace.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trace = sparse_trace(n, n / 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intervals_of_trace(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IntervalExtractionSparse)->Range(1 << 14, 1 << 20);
+
+void BM_IntervalExtractionDense(benchmark::State& state) {
+  // FASE-renamed ids (dense in [0, n)): the direct-indexed path used by
+  // analyze_burst — no hashing at all.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trace = random_trace(n, n / 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        intervals_of_dense_trace(trace, static_cast<LineAddr>(n / 16)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IntervalExtractionDense)->Range(1 << 14, 1 << 20);
+
+void BM_AnalyzeOffline1M(benchmark::State& state) {
+  // The full pipeline on a 1M-write trace of realistic sparse addresses:
+  // rename -> intervals -> reuse(k) -> MRC -> knee.
+  constexpr std::size_t kWrites = 1 << 20;
+  const auto trace = sparse_trace(kWrites, 1 << 16);
+  std::vector<std::size_t> boundaries;
+  for (std::size_t b = 4096; b < kWrites; b += 4096) boundaries.push_back(b);
+  KneeConfig knee;
+  knee.max_size = 1 << 12;
+  for (auto _ : state) {
+    Mrc mrc;
+    benchmark::DoNotOptimize(
+        BurstSampler::analyze_offline(trace, boundaries, knee, &mrc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWrites));
+}
+BENCHMARK(BM_AnalyzeOffline1M)->Unit(benchmark::kMillisecond);
+
+void BM_SyncBurstAnalysis(benchmark::State& state) {
+  // What the application thread pays at burst end in synchronous mode:
+  // the whole analysis, O(n) in the burst length.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto burst = random_trace(n, n / 16);  // renamed ids are dense
+  KneeConfig knee;
+  knee.max_size = 1 << 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_burst(burst, knee));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SyncBurstAnalysis)
+    ->Range(1 << 12, 1 << 20)
+    ->Complexity(benchmark::oN);
+
+void BM_AsyncBurstHandoff(benchmark::State& state) {
+  // What the application thread pays at burst end in async mode: one vector
+  // move into the SPSC ring plus a wakeup — flat across burst sizes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto burst = random_trace(n, n / 16);
+  KneeConfig knee;
+  knee.max_size = 1 << 10;
+  auto channel = AnalysisWorker::shared().open_channel();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<LineAddr> copy = burst;
+    channel->drain();  // keep the ring empty so every submit succeeds
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(channel->submit(std::move(copy), knee));
+  }
+  channel->drain();
+  channel->close();
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AsyncBurstHandoff)
+    ->Range(1 << 12, 1 << 20)
+    // Fixed iteration count: the untimed per-iteration work (copying the
+    // burst, draining the worker) would otherwise dwarf the timed ~µs
+    // handoff and let the auto-tuner pick runaway iteration counts.
+    ->Iterations(300)
+    ->Complexity(benchmark::o1);
 
 void BM_FlushInstruction(benchmark::State& state) {
   const auto kind = static_cast<pmem::FlushKind>(state.range(0));

@@ -1,0 +1,66 @@
+// Bounded lock-free single-producer / single-consumer ring buffer.
+//
+// Used to hand completed burst traces from an application thread to the
+// shared background analysis worker: the producing thread only writes its
+// own tail index and the consumer only writes its own head index, so a
+// push is wait-free — one slot move plus one release store. Capacity is a
+// power of two fixed at construction; push fails (rather than blocks) when
+// the ring is full so the producer can fall back instead of stalling.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace nvc {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : ring_(capacity), mask_(capacity - 1) {
+    NVC_REQUIRE(is_pow2(capacity), "SPSC capacity must be a power of two");
+  }
+
+  /// Producer side. Returns false (leaving `v` intact) when full.
+  bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == ring_.size()) return false;
+    ring_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when no element is ready.
+  std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    std::optional<T> v(std::move(ring_[head & mask_]));
+    ring_[head & mask_] = T{};  // release payload resources eagerly
+    head_.store(head + 1, std::memory_order_release);
+    return v;
+  }
+
+  /// Approximate (exact only from the owning side's perspective).
+  std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  bool empty() const noexcept { return size() == 0; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+ private:
+  std::vector<T> ring_;
+  const std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace nvc

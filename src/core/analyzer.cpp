@@ -1,0 +1,129 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/reuse_locality.hpp"
+
+namespace nvc::core {
+
+BurstAnalysis analyze_burst(std::span<const LineAddr> renamed_trace,
+                            const KneeConfig& knee) {
+  NVC_REQUIRE(!renamed_trace.empty());
+  const auto n = static_cast<LogicalTime>(renamed_trace.size());
+  // Renamed identities are allocated sequentially from 0, so they are dense
+  // in [0, n) and the direct-indexed interval extraction applies.
+  const auto intervals =
+      intervals_of_dense_trace(renamed_trace, static_cast<LineAddr>(n));
+  const ReuseCurve reuse = compute_reuse_all_k(intervals, n);
+  BurstAnalysis out;
+  out.mrc = mrc_from_reuse(reuse, knee.max_size);
+  out.selection = KneeFinder(knee).select(out.mrc);
+  return out;
+}
+
+// --- AnalysisChannel --------------------------------------------------------
+
+bool AnalysisChannel::submit(std::vector<LineAddr>&& renamed_trace,
+                             const KneeConfig& knee) {
+  Job job{std::move(renamed_trace), knee};
+  // Count the job before it becomes poppable so the worker's per-pop
+  // decrement can never underflow the counter.
+  worker_->pending_.fetch_add(1, std::memory_order_release);
+  if (!queue_.try_push(std::move(job))) {
+    worker_->pending_.fetch_sub(1, std::memory_order_release);
+    renamed_trace = std::move(job.trace);  // give the burst back: the caller
+    return false;                          // falls back to sync analysis
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  worker_->notify();
+  return true;
+}
+
+void AnalysisChannel::drain() const {
+  const std::uint64_t target = submitted_.load(std::memory_order_relaxed);
+  std::uint64_t done = completed_.load(std::memory_order_acquire);
+  while (done < target) {
+    completed_.wait(done, std::memory_order_acquire);
+    done = completed_.load(std::memory_order_acquire);
+  }
+}
+
+std::optional<BurstAnalysis> AnalysisChannel::take_result() {
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  if (!has_result_) return std::nullopt;
+  has_result_ = false;
+  return std::move(result_);
+}
+
+std::thread::id AnalysisChannel::last_analysis_thread() const {
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  return analysis_thread_;
+}
+
+// --- AnalysisWorker ---------------------------------------------------------
+
+AnalysisWorker::AnalysisWorker()
+    : thread_([this](std::stop_token st) { run(st); }) {}
+
+AnalysisWorker::~AnalysisWorker() = default;  // jthread stops and joins
+
+AnalysisWorker& AnalysisWorker::shared() {
+  static AnalysisWorker worker;
+  return worker;
+}
+
+std::shared_ptr<AnalysisChannel> AnalysisWorker::open_channel() {
+  std::shared_ptr<AnalysisChannel> channel(new AnalysisChannel(this));
+  std::lock_guard<std::mutex> lock(mutex_);
+  channels_.push_back(channel);
+  return channel;
+}
+
+void AnalysisWorker::notify() {
+  // Empty critical section: the waiter checks the predicate under mutex_, so
+  // synchronizing with it here means the notify cannot fall into the gap
+  // between its (failed) predicate check and its going to sleep.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_one();
+}
+
+void AnalysisWorker::run(std::stop_token st) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    const bool keep_going = cv_.wait(lock, st, [&] {
+      return pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (!keep_going) return;  // stop requested and nothing pending
+
+    // Snapshot the channel list; analysis runs without the registry lock so
+    // producers can open channels and submit while a burst is in flight.
+    std::vector<std::shared_ptr<AnalysisChannel>> channels = channels_;
+    lock.unlock();
+
+    for (const auto& ch : channels) {
+      while (auto job = ch->queue_.try_pop()) {
+        pending_.fetch_sub(1, std::memory_order_release);
+        BurstAnalysis result = analyze_burst(job->trace, job->knee);
+        analyses_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> publish(ch->result_mutex_);
+          ch->result_ = std::move(result);
+          ch->has_result_ = true;
+          ch->analysis_thread_ = std::this_thread::get_id();
+        }
+        ch->completed_.fetch_add(1, std::memory_order_release);
+        ch->completed_.notify_all();
+      }
+    }
+
+    lock.lock();
+    // Prune channels whose producer is gone and whose queue has drained.
+    std::erase_if(channels_, [](const std::shared_ptr<AnalysisChannel>& ch) {
+      return ch->closed_.load(std::memory_order_acquire) &&
+             ch->queue_.empty();
+    });
+  }
+}
+
+}  // namespace nvc::core

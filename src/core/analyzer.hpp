@@ -1,0 +1,148 @@
+// Off-critical-path burst analysis (paper Section III-C made asynchronous).
+//
+// The paper's pitch is that adaptive sizing costs almost nothing online, yet
+// a naive implementation runs the full rename -> reuse -> MRC -> knee
+// pipeline synchronously inside on_store() at every burst end — a
+// multi-millisecond stall on the application thread. This module moves that
+// work to one shared background worker:
+//
+//   app thread                        worker thread (std::jthread)
+//   ----------                        ----------------------------
+//   record burst trace
+//   burst ends: move the trace  --->  SPSC ring (AnalysisChannel)
+//   into the channel, O(1)            pop job, run analyze_burst()
+//   keep running with the old         publish {Mrc, KneeResult} into the
+//   cache size                        channel's result slot (mutex-guarded
+//   at the next FASE boundary,        payload + release-ordered counter)
+//   poll the slot and resize
+//
+// One worker is shared across all thread contexts (AnalysisWorker::shared());
+// each producer owns a private AnalysisChannel, so every queue really is
+// single-producer/single-consumer. Channels are shared_ptr-owned by both
+// sides: a producer can be destroyed with a job in flight and the worker
+// still has a live slot to publish into (the orphaned channel is pruned once
+// its queue drains).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.hpp"
+#include "common/types.hpp"
+#include "core/knee.hpp"
+#include "core/mrc.hpp"
+
+namespace nvc::core {
+
+/// Result of analyzing one (already FASE-renamed) burst trace.
+struct BurstAnalysis {
+  Mrc mrc;
+  KneeResult selection;
+};
+
+/// The full burst analysis: reuse intervals (dense path — renamed ids lie in
+/// [0, trace.size())) -> reuse(k) for all k -> MRC -> knee selection.
+/// Deterministic: the async and synchronous paths call exactly this.
+BurstAnalysis analyze_burst(std::span<const LineAddr> renamed_trace,
+                            const KneeConfig& knee);
+
+class AnalysisWorker;
+
+/// One producer's mailbox to the shared worker. Producer-side calls (submit,
+/// poll, drain) must come from a single thread.
+class AnalysisChannel {
+ public:
+  /// Hand a completed burst to the worker. O(1): one vector move into the
+  /// ring plus a wakeup; no analysis work happens on the calling thread.
+  /// Returns false (trace untouched) if the ring is full — the caller then
+  /// falls back to synchronous analysis rather than losing the burst.
+  bool submit(std::vector<LineAddr>&& renamed_trace, const KneeConfig& knee);
+
+  /// Number of analyses completed so far (release-ordered with the result).
+  std::uint64_t completed() const noexcept {
+    return completed_.load(std::memory_order_acquire);
+  }
+
+  /// True when every submitted job has been analyzed.
+  bool idle() const noexcept {
+    return completed() == submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Block until every submitted job has been analyzed (shutdown drain).
+  void drain() const;
+
+  /// Take the most recent published result (empty if none since last take).
+  std::optional<BurstAnalysis> take_result();
+
+  /// Thread that ran the most recent analysis (test hook: proves the
+  /// pipeline left the application thread).
+  std::thread::id last_analysis_thread() const;
+
+  /// Producer is going away; the worker prunes the channel once drained.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+ private:
+  friend class AnalysisWorker;
+
+  struct Job {
+    std::vector<LineAddr> trace;
+    KneeConfig knee;
+  };
+
+  explicit AnalysisChannel(AnalysisWorker* worker) : worker_(worker) {}
+
+  static constexpr std::size_t kRingSlots = 8;
+
+  AnalysisWorker* worker_;
+  SpscQueue<Job> queue_{kRingSlots};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<bool> closed_{false};
+
+  mutable std::mutex result_mutex_;  // guards the three fields below
+  BurstAnalysis result_;
+  bool has_result_ = false;
+  std::thread::id analysis_thread_;
+};
+
+/// The shared background analyzer: one std::jthread serving every channel.
+class AnalysisWorker {
+ public:
+  AnalysisWorker();
+  ~AnalysisWorker();
+
+  AnalysisWorker(const AnalysisWorker&) = delete;
+  AnalysisWorker& operator=(const AnalysisWorker&) = delete;
+
+  /// The process-wide worker used by async samplers.
+  static AnalysisWorker& shared();
+
+  /// Open a new producer channel served by this worker.
+  std::shared_ptr<AnalysisChannel> open_channel();
+
+  std::uint64_t analyses_run() const noexcept {
+    return analyses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class AnalysisChannel;
+
+  void notify();  // a producer enqueued a job
+  void run(std::stop_token st);
+
+  std::mutex mutex_;  // guards channels_
+  std::vector<std::shared_ptr<AnalysisChannel>> channels_;
+  std::condition_variable_any cv_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> analyses_{0};
+  std::jthread thread_;  // last member: joins before the rest is destroyed
+};
+
+}  // namespace nvc::core

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 
 namespace nvc::core {
@@ -29,12 +29,12 @@ class FaseRenamer {
 
   /// Map a write to its FASE-scoped identity.
   LineAddr rename(LineAddr line) {
-    auto [it, inserted] = table_.try_emplace(line, Entry{epoch_, next_id_});
-    if (inserted || it->second.epoch != epoch_) {
-      if (!inserted) it->second = Entry{epoch_, next_id_};
+    auto [entry, inserted] = table_.try_emplace(line, Entry{epoch_, next_id_});
+    if (inserted || entry->epoch != epoch_) {
+      if (!inserted) *entry = Entry{epoch_, next_id_};
       return next_id_++;
     }
-    return it->second.id;
+    return entry->id;
   }
 
   /// Reset all state (new sampling burst).
@@ -48,10 +48,10 @@ class FaseRenamer {
 
  private:
   struct Entry {
-    std::uint64_t epoch;
-    LineAddr id;
+    std::uint64_t epoch = 0;
+    LineAddr id = 0;
   };
-  std::unordered_map<LineAddr, Entry> table_;
+  FlatHashMap<LineAddr, Entry> table_;
   std::uint64_t epoch_ = 0;
   LineAddr next_id_ = 0;
 };

@@ -1,9 +1,9 @@
 #include "core/mrc.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/assert.hpp"
+#include "common/flat_hash.hpp"
 #include "core/write_cache.hpp"
 
 namespace nvc::core {
@@ -84,16 +84,15 @@ Mrc mrc_exact_lru(std::span<const LineAddr> trace, std::size_t max_size) {
   std::uint64_t cold = 0;
 
   Fenwick marks(n);
-  std::unordered_map<LineAddr, std::size_t> last;  // line -> 1-based time
-  last.reserve(n);
+  FlatHashMap<LineAddr, std::size_t> last;  // line -> 1-based time
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t t = i + 1;
-    auto [it, inserted] = last.try_emplace(trace[i], t);
+    auto [entry, inserted] = last.try_emplace(trace[i], t);
     if (inserted) {
       ++cold;
     } else {
-      const std::size_t prev = it->second;
+      const std::size_t prev = *entry;
       // Stack distance = number of distinct lines accessed in (prev, t),
       // plus one for the line itself.
       const auto between =
@@ -105,7 +104,7 @@ Mrc mrc_exact_lru(std::span<const LineAddr> trace, std::size_t max_size) {
         ++beyond;
       }
       marks.add(prev, -1);
-      it->second = t;
+      *entry = t;
     }
     marks.add(t, +1);
   }

@@ -18,6 +18,11 @@ constexpr std::uint64_t kInstrAtlasReplace = 6;
 constexpr std::uint64_t kInstrPerFlushIssue = 4;
 constexpr std::uint64_t kInstrSamplerStore = 9;
 constexpr std::uint64_t kInstrSamplerAnalysisPerWrite = 30;
+// Async mode: the analysis runs on the background worker, so the app thread
+// only pays the O(1) handoff at burst end and a poll + resize when the
+// selection is applied at a FASE boundary.
+constexpr std::uint64_t kInstrAsyncHandoff = 40;
+constexpr std::uint64_t kInstrAsyncApply = 25;
 }  // namespace
 
 const char* to_string(PolicyKind kind) {
@@ -165,17 +170,33 @@ void SoftCachePolicy::on_store(LineAddr line, FlushSink& sink) {
   }
 
   if (online_) {
-    if (sampler_.sampling()) counters_.instructions += kInstrSamplerStore;
+    const bool was_sampling = sampler_.sampling();
+    if (was_sampling) counters_.instructions += kInstrSamplerStore;
     if (const auto selected = sampler_.on_store(line)) {
+      // Synchronous analysis (or async ring-full fallback): the full
+      // pipeline ran on this thread and the selection applies immediately.
       counters_.instructions +=
           kInstrSamplerAnalysisPerWrite * sampler_.burst_length();
       cache_.resize(*selected, sink);
+    } else if (sampler_.async() && was_sampling && !sampler_.sampling()) {
+      // The burst was handed to the background worker in O(1); the old
+      // cache size stays until the selection lands at a FASE boundary.
+      counters_.instructions += kInstrAsyncHandoff;
     }
+  }
+}
+
+void SoftCachePolicy::apply_pending_selection(FlushSink& sink) {
+  if (!online_ || !sampler_.async()) return;
+  if (const auto selected = sampler_.poll_selection()) {
+    counters_.instructions += kInstrAsyncApply;
+    cache_.resize(*selected, sink);
   }
 }
 
 void SoftCachePolicy::on_fase_begin(FlushSink& sink) {
   Policy::on_fase_begin(sink);
+  apply_pending_selection(sink);
 }
 
 void SoftCachePolicy::on_fase_end(FlushSink& sink) {
@@ -183,10 +204,19 @@ void SoftCachePolicy::on_fase_end(FlushSink& sink) {
   const std::uint64_t flushed = cache_.size();
   counters_.instructions += kInstrPerFlushIssue * flushed;
   cache_.flush_all(sink);
+  // The cache is empty right after the FASE flush, so applying a freshly
+  // landed selection here is free.
+  apply_pending_selection(sink);
   sink.drain();
 }
 
 void SoftCachePolicy::finish(FlushSink& sink) {
+  // Shutdown: wait for any in-flight background analysis so its selection
+  // is not lost, then apply it before the final flush.
+  if (online_ && sampler_.async()) {
+    sampler_.drain();
+    apply_pending_selection(sink);
+  }
   const std::uint64_t flushed = cache_.size();
   counters_.instructions += kInstrPerFlushIssue * flushed;
   cache_.flush_all(sink);

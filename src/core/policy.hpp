@@ -149,6 +149,13 @@ class AtlasPolicy final : public Policy {
 };
 
 /// SC / SC-offline: the adaptive software write-combining cache.
+///
+/// With `SamplerConfig::async_analysis` the burst analysis runs on the
+/// shared background worker and the selected size is *applied at the next
+/// FASE boundary* (begin or end), never mid-FASE: the cache is empty (or
+/// about to be flushed) at a boundary, so a resize there is free and the
+/// FASE-clearing semantics the MRC was computed under are preserved. Until
+/// the selection lands, the old cache size stays in effect.
 class SoftCachePolicy final : public Policy {
  public:
   /// `online`: true = SC (bursty sampling + resize), false = SC-offline
@@ -165,10 +172,17 @@ class SoftCachePolicy final : public Policy {
     return cache_.capacity();
   }
 
+  /// Block until an in-flight background analysis (if any) completes; the
+  /// next FASE boundary will then apply its selection (test hook — finish()
+  /// already drains and applies).
+  void drain_analysis() { sampler_.drain(); }
+
   const WriteCache& cache() const noexcept { return cache_; }
   const BurstSampler& sampler() const noexcept { return sampler_; }
 
  private:
+  void apply_pending_selection(FlushSink& sink);
+
   WriteCache cache_;
   BurstSampler sampler_;
   bool online_;

@@ -1,10 +1,10 @@
 #include "core/reuse_locality.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/assert.hpp"
+#include "common/flat_hash.hpp"
 
 namespace nvc::core {
 
@@ -74,15 +74,29 @@ ReuseCurve compute_reuse_brute_force(std::span<const ReuseInterval> intervals,
 std::vector<ReuseInterval> intervals_of_trace(
     std::span<const LineAddr> trace) {
   std::vector<ReuseInterval> intervals;
-  std::unordered_map<LineAddr, LogicalTime> last_access;
-  last_access.reserve(trace.size());
+  FlatHashMap<LineAddr, LogicalTime> last_access;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const LogicalTime t = static_cast<LogicalTime>(i) + 1;
-    auto [it, inserted] = last_access.try_emplace(trace[i], t);
+    auto [prev, inserted] = last_access.try_emplace(trace[i], t);
     if (!inserted) {
-      intervals.push_back(ReuseInterval{it->second, t});
-      it->second = t;
+      intervals.push_back(ReuseInterval{*prev, t});
+      *prev = t;
     }
+  }
+  return intervals;
+}
+
+std::vector<ReuseInterval> intervals_of_dense_trace(
+    std::span<const LineAddr> trace, LineAddr id_bound) {
+  std::vector<ReuseInterval> intervals;
+  // 0 = never seen; recorded times are 1-indexed.
+  std::vector<LogicalTime> last_access(static_cast<std::size_t>(id_bound), 0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    NVC_ASSERT(trace[i] < id_bound, "trace address outside the dense range");
+    const LogicalTime t = static_cast<LogicalTime>(i) + 1;
+    LogicalTime& prev = last_access[static_cast<std::size_t>(trace[i])];
+    if (prev != 0) intervals.push_back(ReuseInterval{prev, t});
+    prev = t;
   }
   return intervals;
 }
@@ -96,27 +110,25 @@ FootprintCurve compute_footprint_all_k(std::span<const LineAddr> trace) {
   // first access, between consecutive accesses, and after its last access.
   // A window of length k "misses" the datum iff it fits in such a gap, which
   // happens in max(0, g - k + 1) start positions.
-  std::unordered_map<LineAddr, LogicalTime> last_access;
-  last_access.reserve(size);
+  FlatHashMap<LineAddr, LogicalTime> last_access;
   std::vector<std::uint64_t> gap_count(size + 1, 0);  // gap_count[g]
   std::uint64_t distinct = 0;
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const LogicalTime t = static_cast<LogicalTime>(i) + 1;
-    auto [it, inserted] = last_access.try_emplace(trace[i], t);
+    auto [prev, inserted] = last_access.try_emplace(trace[i], t);
     if (inserted) {
       ++distinct;
       if (t > 1) ++gap_count[static_cast<std::size_t>(t - 1)];  // head gap
     } else {
-      const LogicalTime gap = t - it->second - 1;
+      const LogicalTime gap = t - *prev - 1;
       if (gap > 0) ++gap_count[static_cast<std::size_t>(gap)];
-      it->second = t;
+      *prev = t;
     }
   }
-  for (const auto& [line, last] : last_access) {
-    (void)line;
+  last_access.for_each([&](LineAddr, LogicalTime last) {
     if (last < n) ++gap_count[static_cast<std::size_t>(n - last)];  // tail gap
-  }
+  });
 
   // For all k: miss_total(k) = sum_g gap_count[g] * max(0, g - k + 1).
   // Build it with suffix sums: let C(k) = #gaps with g >= k and

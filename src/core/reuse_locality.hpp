@@ -65,6 +65,14 @@ ReuseCurve compute_reuse_brute_force(std::span<const ReuseInterval> intervals,
 std::vector<ReuseInterval> intervals_of_trace(
     std::span<const LineAddr> trace);
 
+/// Same, for a *dense* trace whose addresses all lie in [0, id_bound) — the
+/// shape the FASE renamer produces (identities are allocated sequentially
+/// from 0). A direct-indexed last-access array replaces hashing entirely,
+/// which is both faster and allocation-predictable; this is the variant the
+/// burst-analysis pipeline runs on renamed traces.
+std::vector<ReuseInterval> intervals_of_dense_trace(
+    std::span<const LineAddr> trace, LineAddr id_bound);
+
 /// Average working-set size fp(k) for all k in [1, n], computed from the
 /// trace's access-gap structure (equivalent to paper Eq. 4): a window of
 /// length k misses a datum iff it fits entirely in one of the datum's access

@@ -8,6 +8,13 @@ BurstSampler::BurstSampler(SamplerConfig config)
     : config_(config), fases_to_skip_(config.skip_fases) {
   NVC_REQUIRE(config_.burst_length >= 2, "a burst must contain reuses");
   burst_trace_.reserve(static_cast<std::size_t>(config_.burst_length));
+  if (config_.async_analysis) {
+    channel_ = AnalysisWorker::shared().open_channel();
+  }
+}
+
+BurstSampler::~BurstSampler() {
+  if (channel_) channel_->close();
 }
 
 void BurstSampler::on_fase_boundary() {
@@ -29,10 +36,17 @@ std::optional<std::size_t> BurstSampler::on_store(LineAddr line) {
   if (!sampling_) {
     if (config_.hibernation_length == 0) return std::nullopt;  // forever
     if (++hibernated_ >= config_.hibernation_length) {
+      // Don't start a new burst while the previous one is still being
+      // analyzed in the background; keep hibernating until it lands.
+      if (channel_ && !channel_->idle()) return std::nullopt;
       sampling_ = true;
       hibernated_ = 0;
       renamer_.reset();
       burst_trace_.clear();
+      // The buffer was released at burst end (shrink_to_fit / move into the
+      // analysis channel); re-reserve so the burst doesn't re-grow from
+      // capacity 0 through repeated reallocation.
+      burst_trace_.reserve(static_cast<std::size_t>(config_.burst_length));
     } else {
       return std::nullopt;
     }
@@ -42,17 +56,51 @@ std::optional<std::size_t> BurstSampler::on_store(LineAddr line) {
   return std::nullopt;
 }
 
+void BurstSampler::apply_analysis(BurstAnalysis&& analysis) {
+  last_mrc_ = std::move(analysis.mrc);
+  last_selection_ = analysis.selection;
+}
+
 std::optional<std::size_t> BurstSampler::finish_burst() {
-  const auto n = static_cast<LogicalTime>(burst_trace_.size());
-  const auto intervals = intervals_of_trace(burst_trace_);
-  const ReuseCurve reuse = compute_reuse_all_k(intervals, n);
-  last_mrc_ = mrc_from_reuse(reuse, config_.knee.max_size);
-  last_selection_ = KneeFinder(config_.knee).select(last_mrc_);
-  ++bursts_;
   sampling_ = false;
+  if (channel_ && channel_->submit(std::move(burst_trace_), config_.knee)) {
+    // O(1) handoff: the analysis runs on the worker; the current cache size
+    // stays in effect until the selection is polled at a FASE boundary.
+    // (burst_trace_ is moved-from; on_store re-reserves when re-sampling.)
+    burst_trace_ = {};
+    return std::nullopt;
+  }
+  // Synchronous mode — or the async ring was full (only possible with very
+  // short hibernation), in which case the burst is analyzed in place rather
+  // than dropped.
+  BurstAnalysis analysis = analyze_burst(burst_trace_, config_.knee);
+  apply_analysis(std::move(analysis));
+  ++bursts_;
   burst_trace_.clear();
   burst_trace_.shrink_to_fit();
   return last_selection_.chosen_size;
+}
+
+std::optional<std::size_t> BurstSampler::poll_selection() {
+  if (!channel_) return std::nullopt;
+  const std::uint64_t done = channel_->completed();
+  if (done == results_consumed_) return std::nullopt;
+  if (auto result = channel_->take_result()) {
+    apply_analysis(std::move(*result));
+  }
+  // Count every completed analysis even if a newer result overwrote an
+  // unpolled older one (bursts_ tracks analyses, not polls).
+  bursts_ += done - results_consumed_;
+  results_consumed_ = done;
+  return last_selection_.chosen_size;
+}
+
+void BurstSampler::drain() {
+  if (channel_) channel_->drain();
+}
+
+bool BurstSampler::analysis_in_flight() const {
+  return channel_ && !channel_->idle();
 }
 
 KneeResult BurstSampler::analyze_offline(
@@ -61,13 +109,9 @@ KneeResult BurstSampler::analyze_offline(
     Mrc* mrc_out) {
   NVC_REQUIRE(!trace.empty());
   const std::vector<LineAddr> renamed = rename_trace(trace, boundaries);
-  const auto intervals = intervals_of_trace(renamed);
-  const ReuseCurve reuse =
-      compute_reuse_all_k(intervals, static_cast<LogicalTime>(renamed.size()));
-  Mrc mrc = mrc_from_reuse(reuse, knee.max_size);
-  const KneeResult result = KneeFinder(knee).select(mrc);
-  if (mrc_out != nullptr) *mrc_out = std::move(mrc);
-  return result;
+  BurstAnalysis analysis = analyze_burst(renamed, knee);
+  if (mrc_out != nullptr) *mrc_out = std::move(analysis.mrc);
+  return analysis.selection;
 }
 
 }  // namespace nvc::core

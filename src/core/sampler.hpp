@@ -8,12 +8,25 @@
 // configurable here, including periodic re-sampling for phase-changing
 // programs (listed as future work in the paper, implemented here as an
 // extension).
+//
+// Two analysis modes:
+//   * synchronous (default): the analysis runs inside the on_store() that
+//     completes the burst and the selection is returned from that call —
+//     deterministic, used by the accuracy experiments (Fig. 7/8);
+//   * asynchronous (SamplerConfig::async_analysis): the completed burst is
+//     handed to the shared background AnalysisWorker in O(1) and on_store()
+//     never blocks; the selection is picked up later via poll_selection()
+//     (the SC policy polls at FASE boundaries, which preserves the paper's
+//     semantics — the cache size only ever changes at a point where the
+//     cache is empty anyway).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/analyzer.hpp"
 #include "core/fase_trace.hpp"
 #include "core/knee.hpp"
 #include "core/mrc.hpp"
@@ -35,23 +48,50 @@ struct SamplerConfig {
   /// anyway (after four bursts worth of writes), so single-FASE programs
   /// still get analyzed. 0 = the paper's sample-from-the-start behavior.
   std::uint32_t skip_fases = 0;
+  /// Run the burst analysis on the shared background worker instead of
+  /// synchronously inside on_store() (see file comment).
+  bool async_analysis = false;
   KneeConfig knee;
 };
 
 class BurstSampler {
  public:
   explicit BurstSampler(SamplerConfig config = {});
+  ~BurstSampler();
+
+  BurstSampler(const BurstSampler&) = delete;
+  BurstSampler& operator=(const BurstSampler&) = delete;
 
   /// Observe one persistent write. Returns a newly selected cache size when
-  /// this write completes a burst, std::nullopt otherwise.
+  /// this write completes a burst *in synchronous mode*; in async mode the
+  /// burst is handed off and the selection arrives via poll_selection().
   std::optional<std::size_t> on_store(LineAddr line);
 
   /// Observe a FASE boundary (needed for the renaming transform).
   void on_fase_boundary();
 
+  /// Async mode: pick up a background selection if one has landed since the
+  /// last poll (updates last_mrc()/last_selection()/bursts_completed()).
+  /// Synchronous mode: always empty. O(1) when nothing is ready.
+  std::optional<std::size_t> poll_selection();
+
+  /// Async mode: block until any in-flight analysis completes (shutdown
+  /// drain — the selection is then available to poll_selection()).
+  void drain();
+
+  /// Async mode: true while a handed-off burst has not been analyzed yet.
+  bool analysis_in_flight() const;
+
   bool sampling() const noexcept { return sampling_; }
   std::uint64_t writes_seen() const noexcept { return writes_seen_; }
   std::uint64_t burst_length() const noexcept { return config_.burst_length; }
+  bool async() const noexcept { return config_.async_analysis; }
+
+  /// Reserved capacity of the burst trace buffer (test hook for the
+  /// hibernation re-reserve behavior).
+  std::size_t trace_capacity() const noexcept {
+    return burst_trace_.capacity();
+  }
 
   /// Results of the most recent completed burst (empty before the first).
   const Mrc& last_mrc() const noexcept { return last_mrc_; }
@@ -66,6 +106,7 @@ class BurstSampler {
 
  private:
   std::optional<std::size_t> finish_burst();
+  void apply_analysis(BurstAnalysis&& analysis);
 
   SamplerConfig config_;
   std::uint32_t fases_to_skip_ = 0;
@@ -78,6 +119,8 @@ class BurstSampler {
   std::uint64_t bursts_ = 0;
   Mrc last_mrc_;
   KneeResult last_selection_;
+  std::shared_ptr<AnalysisChannel> channel_;  // async mode only
+  std::uint64_t results_consumed_ = 0;
 };
 
 }  // namespace nvc::core

@@ -1,9 +1,9 @@
 #include "core/shards.hpp"
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 
 namespace nvc::core {
@@ -58,18 +58,17 @@ Mrc mrc_shards(std::span<const LineAddr> trace, std::size_t max_size,
   std::uint64_t beyond = 0;
   std::uint64_t cold = 0;
   Fenwick marks(sampled);
-  std::unordered_map<LineAddr, std::size_t> last;
-  last.reserve(sampled);
+  FlatHashMap<LineAddr, std::size_t> last;
 
   std::size_t t = 0;  // sampled logical time
   for (const LineAddr a : trace) {
     if (!shards_samples(a, config)) continue;
     ++t;
-    auto [it, inserted] = last.try_emplace(a, t);
+    auto [entry, inserted] = last.try_emplace(a, t);
     if (inserted) {
       ++cold;
     } else {
-      const std::size_t prev = it->second;
+      const std::size_t prev = *entry;
       const auto between = static_cast<std::uint64_t>(
           marks.prefix(t - 1) - marks.prefix(prev));
       // Scale the sampled distance back to full-trace terms. Each of the
@@ -84,7 +83,7 @@ Mrc mrc_shards(std::span<const LineAddr> trace, std::size_t max_size,
         ++beyond;
       }
       marks.add(prev, -1);
-      it->second = t;
+      *entry = t;
     }
     marks.add(t, +1);
   }

@@ -1,0 +1,316 @@
+// Tests for the asynchronous burst-analysis pipeline: the background
+// AnalysisWorker, the sampler's O(1) burst handoff, and the SC policy's
+// deferred FASE-boundary resize. The whole file carries the `tsan` ctest
+// label; build with -DNVC_SANITIZE=thread and run `ctest -L tsan` to check
+// the handoff protocol under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/policy.hpp"
+#include "core/sampler.hpp"
+#include "core/write_cache.hpp"
+
+namespace nvc::core {
+namespace {
+
+// A dense (already renamed) cyclic trace: ids 0..period-1 repeated.
+std::vector<LineAddr> cyclic_trace(std::size_t n, LineAddr period) {
+  std::vector<LineAddr> trace(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace[i] = static_cast<LineAddr>(i % period);
+  }
+  return trace;
+}
+
+SamplerConfig sampler_config(std::uint64_t burst, bool async) {
+  SamplerConfig config;
+  config.burst_length = burst;
+  config.knee.max_size = 50;
+  config.async_analysis = async;
+  return config;
+}
+
+void expect_same_analysis(const Mrc& a, const Mrc& b, const KneeResult& ra,
+                          const KneeResult& rb) {
+  ASSERT_EQ(a.max_size(), b.max_size());
+  const auto va = a.values();
+  const auto vb = b.values();
+  // Byte-identical, not approximately equal: both paths must run exactly the
+  // same pipeline on exactly the same renamed trace.
+  EXPECT_TRUE(std::equal(va.begin(), va.end(), vb.begin()));
+  EXPECT_EQ(ra.chosen_size, rb.chosen_size);
+  EXPECT_EQ(ra.had_knees, rb.had_knees);
+  EXPECT_EQ(ra.candidates, rb.candidates);
+}
+
+// --- AnalysisWorker / AnalysisChannel ----------------------------------------
+
+TEST(AnalysisWorker, WorkerResultMatchesDirectAnalysis) {
+  const auto trace = cyclic_trace(512, 9);
+  KneeConfig knee;
+  knee.max_size = 50;
+  const BurstAnalysis direct = analyze_burst(trace, knee);
+
+  auto channel = AnalysisWorker::shared().open_channel();
+  ASSERT_TRUE(channel->submit(std::vector<LineAddr>(trace), knee));
+  channel->drain();
+  EXPECT_TRUE(channel->idle());
+  EXPECT_EQ(channel->completed(), 1u);
+  auto result = channel->take_result();
+  ASSERT_TRUE(result.has_value());
+  expect_same_analysis(result->mrc, direct.mrc, result->selection,
+                       direct.selection);
+  EXPECT_FALSE(channel->take_result().has_value());  // consumed
+  channel->close();
+}
+
+TEST(AnalysisWorker, AnalysisRunsOffTheSubmittingThread) {
+  auto channel = AnalysisWorker::shared().open_channel();
+  KneeConfig knee;
+  knee.max_size = 20;
+  ASSERT_TRUE(channel->submit(cyclic_trace(256, 7), knee));
+  channel->drain();
+  EXPECT_NE(channel->last_analysis_thread(), std::this_thread::get_id());
+  channel->close();
+}
+
+TEST(AnalysisWorker, ServesManyJobsFromOneChannel) {
+  auto channel = AnalysisWorker::shared().open_channel();
+  KneeConfig knee;
+  knee.max_size = 20;
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<LineAddr> trace = cyclic_trace(128, 5);
+    if (channel->submit(std::move(trace), knee)) {
+      ++accepted;
+    } else {
+      // Ring full: the burst is handed back intact for the sync fallback.
+      EXPECT_EQ(trace.size(), 128u);
+    }
+    if (i % 8 == 7) channel->drain();
+  }
+  channel->drain();
+  EXPECT_EQ(channel->completed(), accepted);
+  EXPECT_TRUE(channel->idle());
+  channel->close();
+}
+
+// --- BurstSampler async mode --------------------------------------------------
+
+TEST(AsyncSampler, MatchesSyncByteIdentical) {
+  constexpr std::uint64_t kBurst = 1200;
+  BurstSampler sync_sampler(sampler_config(kBurst, false));
+  BurstSampler async_sampler(sampler_config(kBurst, true));
+
+  std::optional<std::size_t> sync_selected;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    const LineAddr line = static_cast<LineAddr>(i % 12);
+    if (auto s = sync_sampler.on_store(line)) sync_selected = s;
+    EXPECT_FALSE(async_sampler.on_store(line).has_value());
+    if (i % 64 == 63) {
+      sync_sampler.on_fase_boundary();
+      async_sampler.on_fase_boundary();
+    }
+  }
+  ASSERT_TRUE(sync_selected.has_value());
+
+  async_sampler.drain();
+  const auto async_selected = async_sampler.poll_selection();
+  ASSERT_TRUE(async_selected.has_value());
+  EXPECT_EQ(*async_selected, *sync_selected);
+  EXPECT_EQ(async_sampler.bursts_completed(), 1u);
+  expect_same_analysis(async_sampler.last_mrc(), sync_sampler.last_mrc(),
+                       async_sampler.last_selection(),
+                       sync_sampler.last_selection());
+}
+
+TEST(AsyncSampler, MultiBurstEquivalenceWithHibernation) {
+  auto config = sampler_config(300, false);
+  config.hibernation_length = 150;
+  BurstSampler sync_sampler(config);
+  config.async_analysis = true;
+  BurstSampler async_sampler(config);
+
+  int bursts_seen = 0;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    // Shifting working set so consecutive bursts select different sizes.
+    const LineAddr line = static_cast<LineAddr>(i % (8 + 4 * (i / 1000)));
+    const auto sync_sel = sync_sampler.on_store(line);
+    EXPECT_FALSE(async_sampler.on_store(line).has_value());
+    if (sync_sel) {
+      // The sync path just finished a burst, so the async path just handed
+      // the identical burst off. Drain before continuing so both samplers
+      // leave hibernation at the same write index.
+      async_sampler.drain();
+      const auto async_sel = async_sampler.poll_selection();
+      ASSERT_TRUE(async_sel.has_value());
+      EXPECT_EQ(*async_sel, *sync_sel);
+      expect_same_analysis(async_sampler.last_mrc(), sync_sampler.last_mrc(),
+                           async_sampler.last_selection(),
+                           sync_sampler.last_selection());
+      ++bursts_seen;
+    }
+    if (i % 64 == 63) {
+      sync_sampler.on_fase_boundary();
+      async_sampler.on_fase_boundary();
+    }
+  }
+  EXPECT_GE(bursts_seen, 3);
+  EXPECT_EQ(async_sampler.bursts_completed(),
+            sync_sampler.bursts_completed());
+}
+
+TEST(AsyncSampler, PollIsEmptyInSyncMode) {
+  BurstSampler sampler(sampler_config(100, false));
+  for (int i = 0; i < 250; ++i) {
+    sampler.on_store(static_cast<LineAddr>(i % 5));
+    EXPECT_FALSE(sampler.poll_selection().has_value());
+  }
+  EXPECT_FALSE(sampler.analysis_in_flight());
+  sampler.drain();  // no-op, must not block
+}
+
+TEST(AsyncSampler, BurstEndDoesNotBlockOnStore) {
+  // The handoff is O(1): the store completing the burst returns before the
+  // analysis finishes, so the selection cannot be visible yet without a
+  // drain. (micro_gbench measures the latency itself.)
+  BurstSampler sampler(sampler_config(1 << 14, true));
+  for (std::uint64_t i = 0; i < (1u << 14); ++i) {
+    EXPECT_FALSE(sampler.on_store(static_cast<LineAddr>(i % 500)).has_value());
+  }
+  EXPECT_FALSE(sampler.sampling());  // burst over, hibernating
+  sampler.drain();
+  EXPECT_TRUE(sampler.poll_selection().has_value());
+}
+
+TEST(AsyncSampler, HibernationReEnableReReservesTraceBuffer) {
+  for (const bool async : {false, true}) {
+    auto config = sampler_config(128, async);
+    config.hibernation_length = 64;
+    BurstSampler sampler(config);
+    EXPECT_GE(sampler.trace_capacity(), 128u);
+    for (int i = 0; i < 128; ++i) {
+      sampler.on_store(static_cast<LineAddr>(i % 6));
+    }
+    // Burst over: the buffer was shrunk (sync) or moved into the channel
+    // (async) — either way the capacity is gone.
+    EXPECT_EQ(sampler.trace_capacity(), 0u) << "async=" << async;
+    sampler.drain();
+    for (int i = 0; i < 64; ++i) {
+      sampler.on_store(static_cast<LineAddr>(i % 6));
+    }
+    // Sampling re-enabled: the full burst reservation must be back so the
+    // new burst does not re-grow through repeated reallocation.
+    EXPECT_TRUE(sampler.sampling()) << "async=" << async;
+    EXPECT_GE(sampler.trace_capacity(), 128u) << "async=" << async;
+  }
+}
+
+// --- SoftCachePolicy deferred resize -----------------------------------------
+
+PolicyConfig policy_config(std::uint64_t burst, bool async) {
+  PolicyConfig config;
+  config.sampler = sampler_config(burst, async);
+  return config;
+}
+
+// Expected post-burst size from an identically driven synchronous policy.
+std::size_t sync_selected_size(std::uint64_t burst) {
+  SoftCachePolicy policy(policy_config(burst, false), /*online=*/true);
+  CountingSink sink;
+  for (std::uint64_t i = 0; i < burst; ++i) {
+    policy.on_store(static_cast<LineAddr>(i % 12), sink);
+  }
+  return policy.current_cache_size();
+}
+
+TEST(AsyncPolicy, DefersResizeToNextFaseEnd) {
+  constexpr std::uint64_t kBurst = 600;
+  const std::size_t expected = sync_selected_size(kBurst);
+  ASSERT_NE(expected, WriteCache::kDefaultCapacity)
+      << "workload must actually change the size for this test to bite";
+
+  SoftCachePolicy policy(policy_config(kBurst, true), /*online=*/true);
+  CountingSink sink;
+  policy.on_fase_begin(sink);
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    policy.on_store(static_cast<LineAddr>(i % 12), sink);
+  }
+  // Burst handed off: the old size stays, even once the analysis result has
+  // landed, until the policy crosses a FASE boundary.
+  EXPECT_EQ(policy.current_cache_size(), WriteCache::kDefaultCapacity);
+  policy.drain_analysis();
+  EXPECT_FALSE(policy.sampler().analysis_in_flight());
+  EXPECT_EQ(policy.current_cache_size(), WriteCache::kDefaultCapacity);
+
+  policy.on_fase_end(sink);
+  EXPECT_EQ(policy.current_cache_size(), expected);
+}
+
+TEST(AsyncPolicy, AppliesAtFaseBeginToo) {
+  constexpr std::uint64_t kBurst = 600;
+  const std::size_t expected = sync_selected_size(kBurst);
+
+  SoftCachePolicy policy(policy_config(kBurst, true), /*online=*/true);
+  CountingSink sink;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    policy.on_store(static_cast<LineAddr>(i % 12), sink);
+  }
+  policy.drain_analysis();
+  EXPECT_EQ(policy.current_cache_size(), WriteCache::kDefaultCapacity);
+  policy.on_fase_begin(sink);
+  EXPECT_EQ(policy.current_cache_size(), expected);
+}
+
+TEST(AsyncPolicy, FinishDrainsInFlightAnalysis) {
+  constexpr std::uint64_t kBurst = 600;
+  const std::size_t expected = sync_selected_size(kBurst);
+
+  SoftCachePolicy policy(policy_config(kBurst, true), /*online=*/true);
+  CountingSink sink;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    policy.on_store(static_cast<LineAddr>(i % 12), sink);
+  }
+  // Shutdown immediately after the burst handoff: finish() must wait for the
+  // background analysis and apply its selection rather than dropping it.
+  policy.finish(sink);
+  EXPECT_EQ(policy.current_cache_size(), expected);
+  EXPECT_EQ(policy.sampler().bursts_completed(), 1u);
+}
+
+TEST(AsyncPolicy, SyncAndAsyncConvergeOnIdenticalRuns) {
+  // Full end-to-end equivalence: same stores, same FASE structure; after the
+  // final boundary both modes run with the same cache size and have seen the
+  // same number of bursts.
+  constexpr std::uint64_t kStores = 4000;
+  auto run = [](bool async) {
+    auto config = policy_config(500, async);
+    config.sampler.hibernation_length = 250;
+    SoftCachePolicy policy(config, /*online=*/true);
+    CountingSink sink;
+    for (std::uint64_t i = 0; i < kStores; ++i) {
+      policy.on_fase_begin(sink);
+      for (int j = 0; j < 40; ++j) {
+        policy.on_store(static_cast<LineAddr>((i * 40 + j) % 15), sink);
+      }
+      policy.on_fase_end(sink);
+      if (async) policy.drain_analysis();  // keep burst alignment exact
+    }
+    policy.finish(sink);
+    return std::pair{policy.current_cache_size(),
+                     policy.sampler().bursts_completed()};
+  };
+  const auto [sync_size, sync_bursts] = run(false);
+  const auto [async_size, async_bursts] = run(true);
+  EXPECT_EQ(async_size, sync_size);
+  EXPECT_EQ(async_bursts, sync_bursts);
+  EXPECT_GE(sync_bursts, 2u);
+}
+
+}  // namespace
+}  // namespace nvc::core

@@ -1,13 +1,18 @@
 // Unit tests for the common utility layer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/barrier.hpp"
 #include "common/env.hpp"
+#include "common/flat_hash.hpp"
 #include "common/rng.hpp"
+#include "common/spsc_queue.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/types.hpp"
@@ -217,6 +222,196 @@ TEST(Env, IntFallbacks) {
   EXPECT_EQ(env_int("NVC_TEST_SET", 0), 17);
   ::setenv("NVC_TEST_BAD", "abc", 1);
   EXPECT_EQ(env_int("NVC_TEST_BAD", 9), 9);
+}
+
+TEST(FlatHashMap, InsertFindUpdate) {
+  FlatHashMap<std::uint64_t, int> map;
+  auto [v1, inserted1] = map.try_emplace(42, 7);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*v1, 7);
+  auto [v2, inserted2] = map.try_emplace(42, 99);
+  EXPECT_FALSE(inserted2);      // key present: value kept
+  EXPECT_EQ(*v2, 7);
+  *v2 = 13;                     // slot pointer is writable
+  EXPECT_EQ(*map.find(42), 13);
+  EXPECT_EQ(map.find(43), nullptr);
+  EXPECT_TRUE(map.contains(42));
+  EXPECT_FALSE(map.contains(0));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, GrowsKeepingEveryEntry) {
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  constexpr std::uint64_t kN = 10000;
+  for (std::uint64_t k = 0; k < kN; ++k) map.try_emplace(k, k * 3);
+  EXPECT_EQ(map.size(), kN);
+  EXPECT_TRUE(is_pow2(map.slot_count()));
+  EXPECT_GE(map.slot_count(), 2 * kN);  // load factor stays <= 0.5
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k * 3);
+  }
+}
+
+TEST(FlatHashMap, ReserveAvoidsRehash) {
+  FlatHashMap<std::uint64_t, int> map;
+  map.reserve(1000);
+  const std::size_t slots = map.slot_count();
+  for (std::uint64_t k = 0; k < 1000; ++k) map.try_emplace(k, 1);
+  EXPECT_EQ(map.slot_count(), slots);
+}
+
+TEST(FlatHashMap, EraseKeepsRemainingEntriesReachable) {
+  // Backward-shift deletion: removing from the middle of probe chains must
+  // not strand any surviving entry behind an empty slot.
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  constexpr std::uint64_t kN = 2000;
+  for (std::uint64_t k = 0; k < kN; ++k) map.try_emplace(k, k);
+  for (std::uint64_t k = 0; k < kN; k += 2) EXPECT_TRUE(map.erase(k));
+  EXPECT_FALSE(map.erase(0));  // already gone
+  EXPECT_EQ(map.size(), kN / 2);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_FALSE(map.contains(k)) << k;
+    } else {
+      ASSERT_NE(map.find(k), nullptr) << k;
+      EXPECT_EQ(*map.find(k), k);
+    }
+  }
+}
+
+TEST(FlatHashMap, CollisionHeavyKeysStayRetrievable) {
+  // Low-entropy keys (identical low bits, huge strides) are exactly what the
+  // murmur finalizer must spread; every key must survive growth and lookups.
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    keys.push_back(i << 40);       // only high bits differ
+    keys.push_back(i * 4096);      // page-aligned stride
+    keys.push_back(i * 0x10001);   // mixed
+  }
+  for (const auto k : keys) map.try_emplace(k, k ^ 0xabcdef);
+  EXPECT_EQ(map.size(), keys.size());
+  for (const auto k : keys) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k ^ 0xabcdef);
+  }
+}
+
+TEST(FlatHashMap, RandomizedMatchesUnorderedMap) {
+  // Insert/erase/lookup fuzz against the reference container, on a small key
+  // range so probe chains constantly form and break.
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(123);
+  for (int op = 0; op < 30000; ++op) {
+    const std::uint64_t key = rng.below(512);
+    switch (rng.below(3)) {
+      case 0: {
+        const std::uint64_t value = rng();
+        const auto [slot, inserted] = map.try_emplace(key, value);
+        const auto [it, ref_inserted] = ref.try_emplace(key, value);
+        ASSERT_EQ(inserted, ref_inserted);
+        ASSERT_EQ(*slot, it->second);
+        break;
+      }
+      case 1:
+        ASSERT_EQ(map.erase(key), ref.erase(key) == 1);
+        break;
+      default: {
+        const auto* found = map.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+}
+
+TEST(FlatHashMap, ClearEmptiesButKeepsSlots) {
+  FlatHashMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 100; ++k) map.try_emplace(k, 1);
+  const std::size_t slots = map.slot_count();
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.slot_count(), slots);
+  EXPECT_FALSE(map.contains(5));
+  map.try_emplace(5, 2);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, ForEachVisitsEveryEntryOnce) {
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t k = 10; k < 20; ++k) map.try_emplace(k, k);
+  std::set<std::uint64_t> seen;
+  map.for_each([&](std::uint64_t key, std::uint64_t value) {
+    EXPECT_EQ(key, value);
+    EXPECT_TRUE(seen.insert(key).second);
+  });
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(SpscQueue, FifoOrderAcrossWraparound) {
+  SpscQueue<int> q(4);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 50; ++round) {
+    while (q.try_push(next_push + 0)) ++next_push;
+    EXPECT_EQ(q.size(), q.capacity());
+    while (auto v = q.try_pop()) {
+      EXPECT_EQ(*v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, FullRingRejectsWithoutLosingValue) {
+  SpscQueue<std::vector<int>> q(2);
+  EXPECT_TRUE(q.try_push({1}));
+  EXPECT_TRUE(q.try_push({2}));
+  std::vector<int> overflow{3, 4, 5};
+  EXPECT_FALSE(q.try_push(std::move(overflow)));
+  EXPECT_EQ(overflow.size(), 3u);  // rejected push leaves the value intact
+  auto first = q.try_pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->at(0), 1);
+  EXPECT_TRUE(q.try_push(std::move(overflow)));
+}
+
+TEST(SpscQueue, PopReleasesSlotResources) {
+  SpscQueue<std::shared_ptr<int>> q(4);
+  auto payload = std::make_shared<int>(7);
+  q.try_push(std::shared_ptr<int>(payload));
+  auto popped = q.try_pop();
+  ASSERT_TRUE(popped.has_value());
+  // The ring slot was reset on pop: only `payload` and `popped` remain.
+  EXPECT_EQ(payload.use_count(), 2);
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumer) {
+  constexpr int kItems = 100000;
+  SpscQueue<int> q(64);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.try_push(i + 0)) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto v = q.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(Env, ScaledRespectsFullFlag) {
