@@ -98,6 +98,11 @@ LiveResult run_live(const std::string& workload, core::PolicyKind kind,
       pmem::parse_flush_kind(env_str("NVC_FLUSH", "sim").c_str());
   config.simulated_flush_ns =
       static_cast<std::uint32_t>(env_int("NVC_FLUSH_NS", 250));
+  // NVC_LOG=1 turns on durable undo logging; NVC_LOG_SYNC=strict|batched
+  // picks the durability protocol (DESIGN.md §7).
+  config.undo_logging = env_int("NVC_LOG", 0) != 0;
+  config.log_sync =
+      runtime::parse_log_sync_mode(env_str("NVC_LOG_SYNC", "strict").c_str());
 
   runtime::Runtime rt(config);
   workloads::RuntimeApi api(rt);

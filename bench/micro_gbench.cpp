@@ -3,6 +3,9 @@
 // renaming, Mattson stack distances, and the flush instructions themselves.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -14,6 +17,7 @@
 #include "core/sampler.hpp"
 #include "core/write_cache.hpp"
 #include "pmem/flush.hpp"
+#include "runtime/runtime.hpp"
 
 namespace {
 
@@ -230,6 +234,78 @@ BENCHMARK(BM_AsyncBurstHandoff)
     // handoff and let the auto-tuner pick runaway iteration counts.
     ->Iterations(300)
     ->Complexity(benchmark::o1);
+
+// --- full-runtime pstore latency (the per-store constants) ------------------
+
+std::string unique_region() {
+  static int counter = 0;
+  return "gbench.pstore." + std::to_string(::getpid()) + "." +
+         std::to_string(counter++);
+}
+
+void BM_PstoreFase(benchmark::State& state) {
+  // End-to-end pstore cost through the Runtime hot path (ctx lookup, undo
+  // logging, policy, flush backend), as FASEs of 16 stores over 16 lines.
+  // Arg0 selects the log protocol: 0 = logging off, 1 = strict (Atlas,
+  // 2 flush+fence pairs per record), 2 = batched (one sync per epoch).
+  // Arg1 selects the policy: 0 = ER (flush per store), 1 = SC-offline.
+  const int log_mode = static_cast<int>(state.range(0));
+  const bool soft_cache = state.range(1) == 1;
+  runtime::RuntimeConfig config;
+  config.region_name = unique_region();
+  config.region_size = 4u << 20;
+  config.policy = soft_cache ? core::PolicyKind::kSoftCacheOffline
+                             : core::PolicyKind::kEager;
+  config.policy_config.cache_size = 23;
+  config.flush = pmem::default_flush_kind();
+  config.undo_logging = log_mode != 0;
+  config.log_sync = log_mode == 2 ? runtime::LogSyncMode::kBatched
+                                  : runtime::LogSyncMode::kStrict;
+  runtime::Runtime rt(config);
+  constexpr int kStoresPerFase = 16;
+  auto* arr = static_cast<std::uint64_t*>(
+      rt.pm_alloc(kStoresPerFase * kCacheLineSize));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    rt.fase_begin();
+    for (int s = 0; s < kStoresPerFase; ++s) {
+      rt.pstore(arr[s * 8], v++);
+    }
+    rt.fase_end();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kStoresPerFase);
+  const runtime::RuntimeStats stats = rt.stats();
+  state.counters["log_fences"] =
+      benchmark::Counter(static_cast<double>(stats.log_fences));
+  state.counters["log_syncs"] =
+      benchmark::Counter(static_cast<double>(stats.log_syncs));
+  state.SetLabel(std::string(log_mode == 0 ? "log=off"
+                             : log_mode == 1 ? "log=strict"
+                                             : "log=batched") +
+                 (soft_cache ? "/SC" : "/ER"));
+  rt.destroy_storage();
+}
+BENCHMARK(BM_PstoreFase)->ArgsProduct({{0, 1, 2}, {0, 1}});
+
+void BM_FaseNoop(benchmark::State& state) {
+  // An empty begin/end pair: isolates the per-FASE constant (two context
+  // lookups + policy boundary calls), the cost the thread-local fast path
+  // in Runtime::ctx() targets.
+  runtime::RuntimeConfig config;
+  config.region_name = unique_region();
+  config.region_size = 1u << 20;
+  config.policy = core::PolicyKind::kBest;
+  config.flush = pmem::FlushKind::kCountOnly;
+  runtime::Runtime rt(config);
+  for (auto _ : state) {
+    rt.fase_begin();
+    rt.fase_end();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  rt.destroy_storage();
+}
+BENCHMARK(BM_FaseNoop);
 
 void BM_FlushInstruction(benchmark::State& state) {
   const auto kind = static_cast<pmem::FlushKind>(state.range(0));

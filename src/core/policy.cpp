@@ -199,6 +199,17 @@ void SoftCachePolicy::on_fase_begin(FlushSink& sink) {
   apply_pending_selection(sink);
 }
 
+void SoftCachePolicy::flush_buffered(FlushSink& sink) {
+  // Mid-FASE barrier: flush the cache, nothing else. No sampler boundary
+  // (the renamer epoch is a FASE property, not a flush property) and no
+  // pending-selection application (a resize must never land mid-FASE —
+  // every FASE runs start-to-finish under one size, DESIGN.md §6).
+  const std::uint64_t flushed = cache_.size();
+  counters_.instructions += kInstrPerFlushIssue * flushed;
+  cache_.flush_all(sink);
+  sink.drain();
+}
+
 void SoftCachePolicy::on_fase_end(FlushSink& sink) {
   if (online_) sampler_.on_fase_boundary();
   const std::uint64_t flushed = cache_.size();

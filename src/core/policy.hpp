@@ -83,6 +83,13 @@ class Policy {
   virtual void on_fase_begin(FlushSink& sink);
   virtual void on_fase_end(FlushSink& sink);
 
+  /// Mid-FASE persistence barrier: flush everything buffered and drain,
+  /// WITHOUT signalling a FASE boundary. For stateless-at-boundary policies
+  /// this is the same flushing work as on_fase_end (the default forwards),
+  /// but the sampling policy must not advance its renamer epoch or apply a
+  /// deferred resize here — the FASE is still open.
+  virtual void flush_buffered(FlushSink& sink) { on_fase_end(sink); }
+
   /// Program end: release anything still buffered.
   virtual void finish(FlushSink& sink);
 
@@ -167,6 +174,7 @@ class SoftCachePolicy final : public Policy {
   void on_store(LineAddr line, FlushSink& sink) override;
   void on_fase_begin(FlushSink& sink) override;
   void on_fase_end(FlushSink& sink) override;
+  void flush_buffered(FlushSink& sink) override;
   void finish(FlushSink& sink) override;
   std::size_t current_cache_size() const noexcept override {
     return cache_.capacity();

@@ -2,19 +2,30 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/assert.hpp"
 
 namespace nvc::pmem {
 
+ShadowPmem::AlignedImage ShadowPmem::make_image(std::size_t size) {
+  // Cache-line aligned so pointer-based line arithmetic (volatile_base())
+  // agrees with the offset-based line model.
+  auto* p = static_cast<std::uint8_t*>(
+      std::aligned_alloc(kCacheLineSize, align_up(size, kCacheLineSize)));
+  NVC_REQUIRE(p != nullptr);
+  std::memset(p, 0, size);
+  return AlignedImage(p, &std::free);
+}
+
 ShadowPmem::ShadowPmem(std::size_t size)
-    : volatile_(size, 0), durable_(size, 0) {
+    : size_(size), volatile_(make_image(size)), durable_(make_image(size)) {
   NVC_REQUIRE(size > 0);
 }
 
 void ShadowPmem::store(PmAddr addr, const void* data, std::size_t len) {
-  NVC_REQUIRE(addr + len <= volatile_.size(), "store out of region");
-  std::memcpy(volatile_.data() + addr, data, len);
+  NVC_REQUIRE(addr + len <= size_, "store out of region");
+  std::memcpy(volatile_.get() + addr, data, len);
   ++stores_;
   const LineAddr first = line_of(addr);
   const LineAddr last = line_of(addr + len - 1);
@@ -22,16 +33,16 @@ void ShadowPmem::store(PmAddr addr, const void* data, std::size_t len) {
 }
 
 void ShadowPmem::load(PmAddr addr, void* out, std::size_t len) const {
-  NVC_REQUIRE(addr + len <= volatile_.size(), "load out of region");
-  std::memcpy(out, volatile_.data() + addr, len);
+  NVC_REQUIRE(addr + len <= size_, "load out of region");
+  std::memcpy(out, volatile_.get() + addr, len);
 }
 
 void ShadowPmem::flush_line(LineAddr line) {
   ++flushes_;
   const PmAddr base = line_base(line);
-  if (base >= volatile_.size()) return;  // flush of a line we never mapped
-  const std::size_t len = std::min(kCacheLineSize, volatile_.size() - base);
-  std::memcpy(durable_.data() + base, volatile_.data() + base, len);
+  if (base >= size_) return;  // flush of a line we never mapped
+  const std::size_t len = std::min(kCacheLineSize, size_ - base);
+  std::memcpy(durable_.get() + base, volatile_.get() + base, len);
   dirty_.erase(line);
 }
 
@@ -42,13 +53,13 @@ void ShadowPmem::flush_all() {
 }
 
 void ShadowPmem::crash() {
-  volatile_ = durable_;
+  std::memcpy(volatile_.get(), durable_.get(), size_);
   dirty_.clear();
 }
 
 void ShadowPmem::load_durable(PmAddr addr, void* out, std::size_t len) const {
-  NVC_REQUIRE(addr + len <= durable_.size(), "durable load out of region");
-  std::memcpy(out, durable_.data() + addr, len);
+  NVC_REQUIRE(addr + len <= size_, "durable load out of region");
+  std::memcpy(out, durable_.get() + addr, len);
 }
 
 }  // namespace nvc::pmem

@@ -9,8 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <unordered_set>
-#include <vector>
 
 #include "common/types.hpp"
 
@@ -20,7 +21,7 @@ class ShadowPmem {
  public:
   explicit ShadowPmem(std::size_t size);
 
-  std::size_t size() const noexcept { return volatile_.size(); }
+  std::size_t size() const noexcept { return size_; }
 
   /// Write `len` bytes at byte offset `addr` into the volatile image.
   void store(PmAddr addr, const void* data, std::size_t len);
@@ -70,9 +71,21 @@ class ShadowPmem {
   std::uint64_t stores() const noexcept { return stores_; }
   std::uint64_t flushes() const noexcept { return flushes_; }
 
+  /// Raw base of the volatile image, 64-byte aligned — lets components that
+  /// write through pointers (the undo log) live inside the crash model.
+  /// Writes through this pointer bypass store()/dirty accounting, but
+  /// flush_line() copies the whole line regardless of the dirty set, so a
+  /// pointer-writing component persists correctly as long as every byte it
+  /// needs durable is covered by a flush_line() before crash().
+  std::uint8_t* volatile_base() noexcept { return volatile_.get(); }
+
  private:
-  std::vector<std::uint8_t> volatile_;
-  std::vector<std::uint8_t> durable_;
+  using AlignedImage = std::unique_ptr<std::uint8_t[], decltype(&std::free)>;
+  static AlignedImage make_image(std::size_t size);
+
+  std::size_t size_;
+  AlignedImage volatile_;
+  AlignedImage durable_;
   std::unordered_set<LineAddr> dirty_;
   std::uint64_t stores_ = 0;
   std::uint64_t flushes_ = 0;

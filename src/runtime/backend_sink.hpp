@@ -1,0 +1,24 @@
+// Bridge from the policies' FlushSink interface to a pmem::FlushBackend:
+// flush_line() issues a real cache-line write-back, drain() a fence. The
+// backend's own counters keep the per-thread flush/fence accounting.
+#pragma once
+
+#include "core/write_cache.hpp"
+#include "pmem/flush.hpp"
+
+namespace nvc::runtime {
+
+class BackendSink final : public core::FlushSink {
+ public:
+  explicit BackendSink(pmem::FlushBackend* backend) : backend_(backend) {}
+
+  void flush_line(LineAddr line) override {
+    backend_->flush(reinterpret_cast<const void*>(line_base(line)));
+  }
+  void drain() override { backend_->fence(); }
+
+ private:
+  pmem::FlushBackend* backend_;
+};
+
+}  // namespace nvc::runtime

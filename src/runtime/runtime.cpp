@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "core/log_ordered_sink.hpp"
+#include "runtime/backend_sink.hpp"
 
 namespace nvc::runtime {
 
@@ -15,19 +17,6 @@ std::uint64_t next_instance_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
-/// FlushSink that issues real cache-line write-backs through a FlushBackend.
-class BackendSink final : public core::FlushSink {
- public:
-  explicit BackendSink(pmem::FlushBackend* backend) : backend_(backend) {}
-  void flush_line(LineAddr line) override {
-    backend_->flush(reinterpret_cast<const void*>(line_base(line)));
-  }
-  void drain() override { backend_->fence(); }
-
- private:
-  pmem::FlushBackend* backend_;
-};
-
 }  // namespace
 
 struct Runtime::ThreadContext {
@@ -37,18 +26,31 @@ struct Runtime::ThreadContext {
         backend(config.flush, config.simulated_flush_ns),
         log_backend(config.flush, config.simulated_flush_ns),
         sink(&backend),
+        log_sink(&log_backend),
         policy(core::make_policy(config.policy, config.policy_config)),
         log(log_base != nullptr
                 ? std::make_unique<UndoLog>(log_base, config.log_segment_size,
-                                            &log_backend)
-                : nullptr) {}
+                                            &log_sink, config.log_sync)
+                : nullptr),
+        ordered_sink(&sink, log.get()) {}
+
+  /// The sink policies flush into. With a log, data flushes are routed
+  /// through the ordering decorator so log entries are durable before any
+  /// line they cover (the batched-mode invariant; a cheap no-op in strict
+  /// mode, where record() already synced).
+  core::FlushSink& data_sink() noexcept {
+    return log ? static_cast<core::FlushSink&>(ordered_sink)
+               : static_cast<core::FlushSink&>(sink);
+  }
 
   std::size_t slot;
   pmem::FlushBackend backend;      // data-line flushes (the paper's metric)
   pmem::FlushBackend log_backend;  // undo-log persistence traffic
   BackendSink sink;
+  BackendSink log_sink;
   std::unique_ptr<core::Policy> policy;
   std::unique_ptr<UndoLog> log;
+  core::LogOrderedSink ordered_sink;
   std::uint32_t fase_depth = 0;
 };
 
@@ -71,10 +73,11 @@ Runtime::Runtime(RuntimeConfig config)
     if (config_.fresh || !pmem::PmemRegion::exists(log_name)) {
       log_region_ = pmem::PmemRegion::create(log_name, log_size);
       pmem::FlushBackend backend(config_.flush, config_.simulated_flush_ns);
+      BackendSink sink(&backend);
       for (std::size_t s = 0; s < config_.max_threads; ++s) {
         UndoLog(static_cast<char*>(log_region_.base()) +
                     s * config_.log_segment_size,
-                config_.log_segment_size, &backend)
+                config_.log_segment_size, &sink)
             .format();
       }
     } else {
@@ -86,6 +89,20 @@ Runtime::Runtime(RuntimeConfig config)
 Runtime::~Runtime() = default;
 
 Runtime::ThreadContext& Runtime::ctx() {
+  // Single-entry fast path: a thread overwhelmingly talks to one Runtime, so
+  // pstore/fase_begin/fase_end resolve their context with one compare
+  // instead of a hash-map probe. Instance ids are never reused, so a stale
+  // entry can only miss, never alias another runtime.
+  thread_local std::uint64_t tl_last_instance = 0;
+  thread_local ThreadContext* tl_last_ctx = nullptr;
+  if (tl_last_instance == instance_id_) return *tl_last_ctx;
+  ThreadContext& c = ctx_slow();
+  tl_last_instance = instance_id_;
+  tl_last_ctx = &c;
+  return c;
+}
+
+Runtime::ThreadContext& Runtime::ctx_slow() {
   // Per-(thread, runtime-instance) context cache. Keyed by instance id so a
   // Runtime reallocated at the same address cannot alias a stale entry.
   thread_local std::unordered_map<std::uint64_t, ThreadContext*> tl_cache;
@@ -109,7 +126,7 @@ Runtime::ThreadContext& Runtime::ctx() {
 }
 
 void* Runtime::pm_alloc(std::size_t size) {
-  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
   const pmem::POffset off = allocator_->allocate(size);
   NVC_REQUIRE(off != pmem::kNullOffset, "persistent region exhausted");
   return allocator_->resolve(off);
@@ -117,23 +134,25 @@ void* Runtime::pm_alloc(std::size_t size) {
 
 void Runtime::pm_free(void* p) {
   if (p == nullptr) return;
-  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
   allocator_->deallocate(allocator_->offset_of(p));
 }
 
 void Runtime::set_root(void* p) {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
   allocator_->set_root(p == nullptr ? pmem::kNullOffset
                                     : allocator_->offset_of(p));
 }
 
 void* Runtime::get_root() const {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
   return allocator_->resolve(allocator_->root());
 }
 
 void Runtime::fase_begin() {
   ThreadContext& c = ctx();
   if (c.fase_depth++ == 0) {
-    c.policy->on_fase_begin(c.sink);
+    c.policy->on_fase_begin(c.data_sink());
   }
 }
 
@@ -141,7 +160,7 @@ void Runtime::fase_end() {
   ThreadContext& c = ctx();
   NVC_REQUIRE(c.fase_depth > 0, "fase_end without matching fase_begin");
   if (--c.fase_depth == 0) {
-    c.policy->on_fase_end(c.sink);
+    c.policy->on_fase_end(c.data_sink());
     if (c.log) c.log->commit();  // atomic commit point of the FASE
   }
 }
@@ -168,9 +187,10 @@ void Runtime::pstore(void* dst, const void* src, std::size_t len) {
 
 void Runtime::persist_barrier() {
   ThreadContext& c = ctx();
-  // The policy's FASE-end hook is exactly "flush all buffered lines and
-  // drain"; the FASE itself stays open (fase_depth untouched).
-  c.policy->on_fase_end(c.sink);
+  // Flush everything the policy has buffered and drain — without signalling
+  // a FASE boundary (the FASE stays open; the sampling policy's renamer
+  // epoch and deferred resize application must not fire mid-FASE).
+  c.policy->flush_buffered(c.data_sink());
 }
 
 void Runtime::pwrote(const void* addr, std::size_t len) {
@@ -182,18 +202,20 @@ void Runtime::pwrote_in(ThreadContext& c, const void* addr, std::size_t len) {
   const auto a = reinterpret_cast<PmAddr>(addr);
   const LineAddr first = line_of(a);
   const LineAddr last = line_of(a + len - 1);
+  core::FlushSink& sink = c.data_sink();
   for (LineAddr line = first; line <= last; ++line) {
-    c.policy->on_store(line, c.sink);
+    c.policy->on_store(line, sink);
   }
 }
 
 bool Runtime::needs_recovery() const {
   if (!config_.undo_logging || !log_region_.valid()) return false;
   pmem::FlushBackend backend(pmem::FlushKind::kCountOnly);
+  BackendSink sink(&backend);
   for (std::size_t s = 0; s < config_.max_threads; ++s) {
     UndoLog log(static_cast<char*>(log_region_.base()) +
                     s * config_.log_segment_size,
-                config_.log_segment_size, &backend);
+                config_.log_segment_size, &sink);
     if (log.needs_recovery()) return true;
   }
   return false;
@@ -202,11 +224,12 @@ bool Runtime::needs_recovery() const {
 std::size_t Runtime::recover() {
   if (!config_.undo_logging || !log_region_.valid()) return 0;
   pmem::FlushBackend backend(config_.flush, config_.simulated_flush_ns);
+  BackendSink sink(&backend);
   std::size_t undone = 0;
   for (std::size_t s = 0; s < config_.max_threads; ++s) {
     UndoLog log(static_cast<char*>(log_region_.base()) +
                     s * config_.log_segment_size,
-                config_.log_segment_size, &backend);
+                config_.log_segment_size, &sink);
     if (!log.needs_recovery()) continue;
     undone += log.rollback(
         [this, &backend](std::uint64_t token, const void* bytes,
@@ -222,7 +245,7 @@ std::size_t Runtime::recover() {
 
 void Runtime::thread_flush() {
   ThreadContext& c = ctx();
-  c.policy->finish(c.sink);
+  c.policy->finish(c.data_sink());
 }
 
 RuntimeStats Runtime::stats() const {
@@ -238,9 +261,11 @@ RuntimeStats Runtime::stats() const {
     s.flushes += c->backend.flush_count();
     s.fences += c->backend.fence_count();
     s.log_flushes += c->log_backend.flush_count();
+    s.log_fences += c->log_backend.fence_count();
     if (c->log) {
       s.log_records += c->log->records();
       s.log_bytes += c->log->bytes_logged();
+      s.log_syncs += c->log->sync_points();
     }
     if (const std::size_t size = c->policy->current_cache_size(); size > 0) {
       s.cache_sizes.push_back(size);

@@ -48,6 +48,10 @@ struct RuntimeConfig {
 
   /// Durable undo logging (off for pure flush-counting experiments).
   bool undo_logging = false;
+  /// When records become durable: per record (kStrict, Atlas' protocol) or
+  /// once per epoch at ordered sync points (kBatched — see DESIGN.md §7 for
+  /// the ordering invariant and the eADR/simulated-backend assumption).
+  LogSyncMode log_sync = LogSyncMode::kStrict;
   std::size_t log_segment_size = 1u << 20;
   std::size_t max_threads = 64;
 };
@@ -60,9 +64,11 @@ struct RuntimeStats {
   std::uint64_t flushes = 0;       // data lines written back to NVRAM
   std::uint64_t log_flushes = 0;   // undo-log lines written back
   std::uint64_t fences = 0;
+  std::uint64_t log_fences = 0;    // fences on the undo-log path
   std::uint64_t instructions = 0;  // policy bookkeeping estimate
   std::uint64_t log_records = 0;
   std::uint64_t log_bytes = 0;
+  std::uint64_t log_syncs = 0;     // log sync points (epochs in kBatched)
   std::size_t threads = 0;
   std::vector<std::size_t> cache_sizes;  // per-thread selected sizes (SC)
 
@@ -151,12 +157,18 @@ class Runtime {
   struct ThreadContext;
 
   ThreadContext& ctx();
+  ThreadContext& ctx_slow();
   void pwrote_in(ThreadContext& c, const void* addr, std::size_t len);
 
   RuntimeConfig config_;
   std::unique_ptr<pmem::PmemAllocator> allocator_;
   pmem::PmemRegion log_region_;
   std::uint64_t instance_id_;
+
+  /// Guards the persistent heap (allocate/free/root). Separate from
+  /// contexts_mutex_ so allocation never contends with thread registration
+  /// or stats().
+  mutable std::mutex alloc_mutex_;
 
   mutable std::mutex contexts_mutex_;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;

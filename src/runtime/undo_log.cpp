@@ -1,68 +1,174 @@
 #include "runtime/undo_log.hpp"
 
 #include <cstring>
+#include <string_view>
 
 #include "common/assert.hpp"
 
 namespace nvc::runtime {
 
-UndoLog::UndoLog(void* base, std::size_t size, pmem::FlushBackend* backend)
-    : base_(static_cast<char*>(base)), size_(size), backend_(backend) {
+LogSyncMode parse_log_sync_mode(const char* name) {
+  if (name != nullptr && std::string_view(name) == "batched") {
+    return LogSyncMode::kBatched;
+  }
+  return LogSyncMode::kStrict;  // unknown values fall back to the default
+}
+
+const char* to_string(LogSyncMode mode) {
+  switch (mode) {
+    case LogSyncMode::kStrict:
+      return "strict";
+    case LogSyncMode::kBatched:
+      return "batched";
+  }
+  NVC_UNREACHABLE("invalid LogSyncMode");
+}
+
+UndoLog::UndoLog(void* base, std::size_t size, core::FlushSink* sink,
+                 LogSyncMode mode)
+    : base_(static_cast<char*>(base)), size_(size), sink_(sink), mode_(mode) {
   NVC_REQUIRE(base_ != nullptr);
+  NVC_REQUIRE(sink_ != nullptr);
   NVC_REQUIRE((reinterpret_cast<std::uintptr_t>(base_) % kCacheLineSize) == 0,
               "log segment must be cache-line aligned");
-  NVC_REQUIRE(size_ >= kHeaderSize + kMaxPayload + sizeof(EntryFooter));
+  NVC_REQUIRE(size_ >= kHeaderSize + kMaxPayload + sizeof(EntryHead));
+  NVC_REQUIRE(size_ <= 0xffffffffULL, "tail must fit the packed state word");
+  if (valid()) {
+    // Reopened segment (restart path): adopt the durable generation and
+    // tail, and treat any self-certifying entries beyond the tail as the
+    // appended extent (batched-mode records that made it to NVRAM).
+    const std::uint64_t state = header()->state;
+    gen_ = state_gen(state);
+    synced_tail_ = state_tail(state);
+    const std::vector<std::uint64_t> offsets = walk_entries();
+    appended_tail_ = synced_tail_;
+    if (!offsets.empty()) {
+      const auto* head =
+          reinterpret_cast<const EntryHead*>(base_ + offsets.back());
+      appended_tail_ = offsets.back() + sizeof(EntryHead) +
+                       align_up(head->len, 8);
+    }
+  }
 }
 
 void UndoLog::persist(const void* p, std::size_t len) {
-  backend_->flush_range(p, len);
-  backend_->fence();
+  NVC_ASSERT(len > 0);
+  const auto addr = reinterpret_cast<PmAddr>(p);
+  const LineAddr first = line_of(addr);
+  const LineAddr last = line_of(addr + len - 1);
+  for (LineAddr line = first; line <= last; ++line) sink_->flush_line(line);
+  sink_->drain();
+}
+
+void UndoLog::publish_state(std::uint32_t gen, std::uint64_t tail) {
+  // A single aligned 8-byte store: atomic with respect to power failure, so
+  // generation and tail can never tear apart.
+  header()->state = pack_state(gen, tail);
+  persist(&header()->state, sizeof(header()->state));
+}
+
+std::uint32_t UndoLog::entry_check(std::uint64_t addr_token, std::uint32_t len,
+                                   std::uint32_t gen,
+                                   const void* payload) noexcept {
+  // FNV-1a over token, length, generation, and the payload bytes. The
+  // generation term invalidates stale entries after commit(); the payload
+  // term catches torn entries whose head line persisted without the data.
+  std::uint32_t h = 0x811c9dc5u;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x01000193u;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(addr_token >> (8 * i)));
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(len >> (8 * i)));
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(gen >> (8 * i)));
+  const auto* bytes = static_cast<const std::uint8_t*>(payload);
+  for (std::uint32_t i = 0; i < len; ++i) mix(bytes[i]);
+  return h;
 }
 
 void UndoLog::format() {
   LogHeader* h = header();
   h->magic = kMagic;
-  h->tail = kHeaderSize;
+  gen_ = 1;
+  h->state = pack_state(gen_, kHeaderSize);
+  appended_tail_ = synced_tail_ = kHeaderSize;
   persist(h, sizeof(LogHeader));
 }
 
 bool UndoLog::valid() const { return header()->magic == kMagic; }
 
 bool UndoLog::needs_recovery() const {
-  return valid() && header()->tail > kHeaderSize;
+  if (!valid()) return false;
+  if (state_tail(header()->state) > kHeaderSize) return true;
+  // Batched mode can crash with a committed (header-size) durable tail but
+  // appended entries that reached NVRAM; the entry chain self-certifies.
+  return !walk_entries().empty();
 }
 
-std::uint64_t UndoLog::tail() const { return header()->tail; }
+std::uint64_t UndoLog::tail() const { return state_tail(header()->state); }
+
+std::vector<std::uint64_t> UndoLog::walk_entries() const {
+  std::vector<std::uint64_t> offsets;
+  const std::uint32_t gen = state_gen(header()->state);
+  std::uint64_t off = kHeaderSize;
+  while (off + sizeof(EntryHead) <= size_) {
+    const auto* head = reinterpret_cast<const EntryHead*>(base_ + off);
+    if (head->len < 1 || head->len > kMaxPayload) break;
+    const std::uint64_t entry_size =
+        sizeof(EntryHead) + align_up(head->len, 8);
+    if (off + entry_size > size_) break;
+    if (head->check != entry_check(head->addr_token, head->len, gen,
+                                   base_ + off + sizeof(EntryHead))) {
+      break;
+    }
+    offsets.push_back(off);
+    off = off + entry_size;
+  }
+  // Everything below the durable tail was synced (flushed + fenced) before
+  // the tail was published, so the chain must reach at least that far.
+  NVC_REQUIRE(off >= state_tail(header()->state),
+              "corrupt undo log: synced entries fail validation");
+  return offsets;
+}
 
 void UndoLog::record(std::uint64_t addr_token, const void* current_bytes,
                      std::uint32_t len) {
   NVC_REQUIRE(len >= 1 && len <= kMaxPayload);
-  const std::uint64_t payload_size = align_up(len, 8);
-  const std::uint64_t entry_size = payload_size + sizeof(EntryFooter);
-  LogHeader* h = header();
-  NVC_REQUIRE(h->tail + entry_size <= size_, "undo log segment overflow");
+  const std::uint64_t entry_size = sizeof(EntryHead) + align_up(len, 8);
+  NVC_REQUIRE(appended_tail_ + entry_size <= size_,
+              "undo log segment overflow");
 
-  char* payload = base_ + h->tail;
+  char* entry = base_ + appended_tail_;
+  char* payload = entry + sizeof(EntryHead);
   std::memcpy(payload, current_bytes, len);
-  auto* footer = reinterpret_cast<EntryFooter*>(payload + payload_size);
-  footer->addr_token = addr_token;
-  footer->len = len;
-  footer->check = static_cast<std::uint32_t>(addr_token ^ len ^ kMagic);
+  auto* head = reinterpret_cast<EntryHead*>(entry);
+  head->addr_token = addr_token;
+  head->len = len;
+  head->check = entry_check(addr_token, len, gen_, payload);
 
-  // Entry must be durable before the new tail that makes it reachable, and
-  // the tail must be durable before the caller's in-place data update.
-  persist(payload, entry_size);
-  h->tail += entry_size;
-  persist(&h->tail, sizeof(h->tail));
-
+  appended_tail_ += entry_size;
   ++records_;
   bytes_logged_ += entry_size;
+
+  // Strict mode: the entry must be durable before the tail that covers it,
+  // and the tail durable before the caller's in-place data update.
+  if (mode_ == LogSyncMode::kStrict) sync();
+}
+
+void UndoLog::sync() {
+  if (appended_tail_ == synced_tail_) return;
+  persist(base_ + synced_tail_, appended_tail_ - synced_tail_);
+  publish_state(gen_, appended_tail_);
+  synced_tail_ = appended_tail_;
+  ++sync_points_;
 }
 
 void UndoLog::commit() {
-  LogHeader* h = header();
-  h->tail = kHeaderSize;
-  persist(&h->tail, sizeof(h->tail));
+  // Advancing the generation de-certifies every entry of this FASE in one
+  // atomic durable store; unsynced entries are simply discarded.
+  ++gen_;
+  publish_state(gen_, kHeaderSize);
+  appended_tail_ = synced_tail_ = kHeaderSize;
 }
 
 }  // namespace nvc::runtime

@@ -3,79 +3,120 @@
 // Atlas guarantees that upon a failure either all or none of a FASE's updates
 // are visible in NVRAM (paper Section II-A). The mechanism is a per-thread
 // persistent undo log: before data is overwritten inside a FASE, the old
-// bytes are appended to the log and persisted; at the outermost FASE end the
-// dirty data lines are flushed (by whichever caching policy is active) and
-// the log is truncated, which is the atomic commit. Recovery after a crash
-// rolls back any non-truncated log tail in reverse order, restoring the
-// pre-FASE state.
+// bytes are appended to the log; at the outermost FASE end the dirty data
+// lines are flushed (by whichever caching policy is active) and the log is
+// truncated, which is the atomic commit. Recovery after a crash rolls back
+// any non-truncated records in reverse order, restoring the pre-FASE state.
 //
-// The log lives in its own slice of persistent memory and is written with
-// store + flush + fence ordering so the "old value" entry is durable before
-// the in-place update can possibly reach NVRAM.
+// Two durability disciplines (LogSyncMode, DESIGN.md §7):
+//
+//   kStrict   every record() is made durable before it returns — two
+//             flush+fence pairs per logged store (entry, then tail). This is
+//             Atlas' protocol: the old-value entry is durable before the
+//             in-place update can possibly reach NVRAM, sound even under
+//             spontaneous hardware cache eviction.
+//   kBatched  record() only appends; durability is enforced once per epoch
+//             by sync() — a single flush of the dirty log range, one fence,
+//             and one durable tail publish. The runtime orders sync()
+//             before every software-issued data-line flush via
+//             core::LogOrderedSink, which preserves the recovery invariant
+//             under the simulated/shadow backends and eADR semantics (no
+//             spontaneous eviction of dirty lines to NVRAM).
+//
+// Entries are *self-certifying*: each carries a check word mixing the
+// address token, length, payload bytes, and the log generation. Recovery
+// does not trust the tail beyond its durable value — it walks the entry
+// chain forward and replays exactly the records whose check words validate
+// against the current generation, so a tail that lags the appended entries
+// (batched mode) still yields a sound rollback, and stale entries from a
+// committed generation are never replayed.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
-#include "pmem/flush.hpp"
+#include "core/log_ordered_sink.hpp"
 
 namespace nvc::runtime {
 
+/// When undo-log records become durable (see file comment).
+enum class LogSyncMode : std::uint8_t {
+  kStrict,   // per record: Atlas' protocol, the default
+  kBatched,  // per epoch: one flush_range + fence at each sync point
+};
+
+/// Parse "strict" / "batched".
+LogSyncMode parse_log_sync_mode(const char* name);
+const char* to_string(LogSyncMode mode);
+
 /// One log segment: a fixed [base, base+size) slice of a persistent region.
-/// Layout: a 64-byte header (tail offset + magic) followed by entries.
-class UndoLog {
+/// Layout: a 64-byte header (magic + packed generation/tail state) followed
+/// by entries, each [EntryHead][payload padded to 8].
+class UndoLog final : public core::EpochLog {
  public:
   /// `base` must be 64-byte aligned; `size` covers header + payload.
-  UndoLog(void* base, std::size_t size, pmem::FlushBackend* backend);
+  /// Durability traffic is issued through `sink` (the runtime passes a
+  /// BackendSink over the per-thread log backend; crash tests pass a
+  /// shadow-memory sink).
+  UndoLog(void* base, std::size_t size, core::FlushSink* sink,
+          LogSyncMode mode = LogSyncMode::kStrict);
 
-  /// Format the segment as an empty, committed log.
+  /// Format the segment as an empty, committed log (generation 1).
   void format();
 
   /// True if the header magic is valid (segment was formatted).
   bool valid() const;
 
-  /// True if the log holds uncommitted entries (crash inside a FASE).
+  /// True if the log holds uncommitted entries (crash inside a FASE):
+  /// any entry of the current generation self-certifies.
   bool needs_recovery() const;
 
-  /// Append the current content of [addr, addr+len) as an undo record and
-  /// make the record durable before returning. len <= kMaxPayload.
-  /// `addr_token` is the position-independent token stored in the record
-  /// (the caller maps pointers to region offsets).
+  /// Append the current content of [addr, addr+len) as an undo record.
+  /// kStrict: durable before returning. kBatched: durable at the next
+  /// sync()/strict boundary. len <= kMaxPayload. `addr_token` is the
+  /// position-independent token stored in the record (the caller maps
+  /// pointers to region offsets).
   void record(std::uint64_t addr_token, const void* current_bytes,
               std::uint32_t len);
 
-  /// Commit: truncate the log durably (the FASE's updates become permanent).
+  /// Epoch boundary (core::EpochLog): make every appended record durable.
+  /// O(1) no-op when nothing has been appended since the last sync.
+  void sync() override;
+
+  /// Commit: truncate the log durably and advance the generation (the
+  /// FASE's updates become permanent; stale entry bytes left in the segment
+  /// no longer certify). A single flush+fence of the header word.
   void commit();
 
   /// Roll back every uncommitted record, newest first. `apply` restores the
-  /// payload bytes at the location identified by the token.
+  /// payload bytes at the location identified by the token. Walks the entry
+  /// chain forward to find the recovery extent (see file comment), then
+  /// applies in reverse.
   template <typename ApplyFn>
   std::size_t rollback(ApplyFn&& apply) {
-    std::size_t undone = 0;
-    std::uint64_t off = tail();
-    while (off > kHeaderSize) {
-      // Each record is: [payload][EntryFooter]; walk backward via footers.
-      const auto* footer = reinterpret_cast<const EntryFooter*>(
-          base_ + off - sizeof(EntryFooter));
-      NVC_REQUIRE(footer->check == static_cast<std::uint32_t>(
-                                       footer->addr_token ^ footer->len ^
-                                       kMagic),
-                  "corrupt undo-log record");
-      const std::uint64_t payload_start =
-          off - sizeof(EntryFooter) - align_up(footer->len, 8);
-      apply(footer->addr_token, base_ + payload_start, footer->len);
-      off = payload_start;
-      ++undone;
+    std::vector<std::uint64_t> offsets = walk_entries();
+    for (auto it = offsets.rbegin(); it != offsets.rend(); ++it) {
+      const auto* head = reinterpret_cast<const EntryHead*>(base_ + *it);
+      apply(head->addr_token, base_ + *it + sizeof(EntryHead), head->len);
     }
     commit();
-    return undone;
+    return offsets.size();
   }
 
+  /// Durable tail offset (kHeaderSize when empty/committed). In batched
+  /// mode this lags appended_tail() until the next sync().
   std::uint64_t tail() const;
+  std::uint64_t appended_tail() const noexcept { return appended_tail_; }
+
   std::size_t capacity() const noexcept { return size_; }
   std::uint64_t records() const noexcept { return records_; }
   std::uint64_t bytes_logged() const noexcept { return bytes_logged_; }
+  /// Number of sync points that actually persisted pending entries — one
+  /// per record in strict mode, one per epoch in batched mode.
+  std::uint64_t sync_points() const noexcept { return sync_points_; }
+  LogSyncMode mode() const noexcept { return mode_; }
 
   static constexpr std::uint32_t kMaxPayload = 256;
   static constexpr std::size_t kHeaderSize = kCacheLineSize;
@@ -83,25 +124,48 @@ class UndoLog {
  private:
   struct LogHeader {
     std::uint64_t magic;
-    std::uint64_t tail;  // next free offset; kHeaderSize when empty
+    std::uint64_t state;  // generation << 32 | tail (one atomic 8-byte word)
   };
-  struct EntryFooter {
+  struct EntryHead {
     std::uint64_t addr_token;
     std::uint32_t len;
-    std::uint32_t check;  // footer integrity word
+    std::uint32_t check;  // self-certifying word over token/len/gen/payload
   };
   static constexpr std::uint64_t kMagic = 0x4e5643554e444f4cULL;  // NVCUNDOL
 
-  LogHeader* header() const {
-    return reinterpret_cast<LogHeader*>(base_);
+  static std::uint64_t pack_state(std::uint32_t gen,
+                                  std::uint64_t tail) noexcept {
+    return (static_cast<std::uint64_t>(gen) << 32) | tail;
   }
+  static std::uint32_t state_gen(std::uint64_t state) noexcept {
+    return static_cast<std::uint32_t>(state >> 32);
+  }
+  static std::uint64_t state_tail(std::uint64_t state) noexcept {
+    return state & 0xffffffffULL;
+  }
+
+  LogHeader* header() const { return reinterpret_cast<LogHeader*>(base_); }
   void persist(const void* p, std::size_t len);
+  void publish_state(std::uint32_t gen, std::uint64_t tail);
+  static std::uint32_t entry_check(std::uint64_t addr_token, std::uint32_t len,
+                                   std::uint32_t gen,
+                                   const void* payload) noexcept;
+
+  /// Offsets of every entry of the current generation that self-certifies,
+  /// oldest first, starting at kHeaderSize; stops at the first entry that
+  /// fails validation. Requires the chain to cover the durable tail.
+  std::vector<std::uint64_t> walk_entries() const;
 
   char* base_;
   std::size_t size_;
-  pmem::FlushBackend* backend_;
+  core::FlushSink* sink_;
+  LogSyncMode mode_;
+  std::uint32_t gen_ = 0;
+  std::uint64_t appended_tail_ = kHeaderSize;  // includes unsynced entries
+  std::uint64_t synced_tail_ = kHeaderSize;    // durable prefix
   std::uint64_t records_ = 0;
   std::uint64_t bytes_logged_ = 0;
+  std::uint64_t sync_points_ = 0;
 };
 
 }  // namespace nvc::runtime

@@ -20,8 +20,10 @@ FlushCountResult replay_flush_count(const ThreadTrace& trace,
         policy->on_fase_begin(sink);
         break;
       case TraceEvent::Kind::kFaseEnd:
-      case TraceEvent::Kind::kBarrier:
         policy->on_fase_end(sink);
+        break;
+      case TraceEvent::Kind::kBarrier:
+        policy->flush_buffered(sink);
         break;
       case TraceEvent::Kind::kLoad:  // reads never reach the write policies
       case TraceEvent::Kind::kCompute:
@@ -98,8 +100,10 @@ SimThreadResult replay_cost_model(const ThreadTrace& trace,
         policy->on_fase_begin(sink);
         break;
       case TraceEvent::Kind::kFaseEnd:
-      case TraceEvent::Kind::kBarrier:
         policy->on_fase_end(sink);
+        break;
+      case TraceEvent::Kind::kBarrier:
+        policy->flush_buffered(sink);
         break;
       case TraceEvent::Kind::kCompute:
         core.execute(ev.value);

@@ -56,7 +56,7 @@ class ShadowApi final : public workloads::PersistApi {
   }
   void persist_barrier(std::size_t) override {
     ++events_;
-    policy_->on_fase_end(sink_);  // flush-everything semantics
+    policy_->flush_buffered(sink_);  // flush everything, FASE stays open
   }
 
   void wrote(std::size_t, const void* addr, std::size_t len) override {

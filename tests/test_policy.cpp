@@ -206,6 +206,79 @@ TEST(SoftCachePolicy, OnlineAdaptsSizeAfterBurst) {
   EXPECT_NEAR(static_cast<double>(p->current_cache_size()), 14.0, 3.0);
 }
 
+TEST(SoftCachePolicy, FlushBufferedEmptiesCacheWithoutFaseBoundary) {
+  PolicyConfig config;
+  config.cache_size = 8;
+  auto p = make_policy(PolicyKind::kSoftCacheOffline, config);
+  RecordingSink sink;
+  p->on_fase_begin(sink);
+  for (LineAddr l = 1; l <= 3; ++l) p->on_store(l, sink);
+  p->flush_buffered(sink);  // mid-FASE ordering point
+  EXPECT_EQ(sink.flushed, (std::vector<LineAddr>{1, 2, 3}));
+  EXPECT_EQ(sink.drains, 1);
+  EXPECT_EQ(p->counters().fases, 1u);  // not a FASE boundary
+  // The cache really is empty: re-storing the same lines misses again.
+  p->on_store(1, sink);
+  EXPECT_EQ(p->counters().combined, 0u);
+  p->on_fase_end(sink);
+}
+
+TEST(SoftCachePolicy, FlushBufferedIsNotASamplerFaseBoundary) {
+  // skip_fases counts *FASE boundaries*. A mid-FASE barrier must not count:
+  // a store-with-own-commit-ordering (MDB) issues many barriers per FASE,
+  // and treating them as boundaries would both end the warmup skip early
+  // and corrupt the renamer's epoch numbering.
+  PolicyConfig config;
+  config.cache_size = 8;
+  config.sampler.burst_length = 8;
+  config.sampler.skip_fases = 2;
+
+  // Barriers only: the sampler must still be skipping (so no burst can
+  // complete, no matter how many stores pass through).
+  SoftCachePolicy barriers(config, /*online=*/true);
+  RecordingSink sink_b;
+  barriers.on_fase_begin(sink_b);
+  for (int round = 0; round < 3; ++round) {
+    for (LineAddr l = 1; l <= 4; ++l) barriers.on_store(l, sink_b);
+    barriers.flush_buffered(sink_b);
+  }
+  barriers.on_fase_end(sink_b);
+  EXPECT_EQ(barriers.sampler().bursts_completed(), 0u);
+
+  // Same store stream split into real FASEs: two boundaries finish the
+  // warmup skip, the next 8 stores fill a burst.
+  SoftCachePolicy fases(config, /*online=*/true);
+  RecordingSink sink_f;
+  for (int round = 0; round < 4; ++round) {
+    fases.on_fase_begin(sink_f);
+    for (LineAddr l = 1; l <= 4; ++l) fases.on_store(l, sink_f);
+    fases.on_fase_end(sink_f);
+  }
+  EXPECT_EQ(fases.sampler().bursts_completed(), 1u);
+}
+
+TEST(SoftCachePolicy, FlushBufferedDefersAsyncResizeToFaseBoundary) {
+  // An async burst selection that lands mid-FASE must wait at the barrier
+  // (a resize must never happen inside a FASE, DESIGN.md §6) and apply at
+  // the next real boundary.
+  PolicyConfig config;
+  config.cache_size = 8;
+  config.sampler.burst_length = 2000;
+  config.sampler.knee.max_size = 50;
+  config.sampler.async_analysis = true;
+  SoftCachePolicy p(config, /*online=*/true);
+  RecordingSink sink;
+  p.on_fase_begin(sink);
+  for (int i = 0; i < 2000; ++i) {
+    p.on_store(static_cast<LineAddr>(i % 14 + 1), sink);
+  }
+  p.drain_analysis();  // the background selection has landed by now
+  p.flush_buffered(sink);
+  EXPECT_EQ(p.current_cache_size(), 8u);  // unchanged mid-FASE
+  p.on_fase_end(sink);
+  EXPECT_NEAR(static_cast<double>(p.current_cache_size()), 14.0, 3.0);
+}
+
 TEST(BestPolicy, NeverFlushes) {
   auto p = make_policy(PolicyKind::kBest);
   RecordingSink sink;

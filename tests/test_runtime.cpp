@@ -255,6 +255,129 @@ TEST_F(RuntimeTest, RecoveryAcrossRealProcessCrash) {
   rt.destroy_storage();
 }
 
+TEST_F(RuntimeTest, BatchedLogFencesScaleWithEpochsNotRecords) {
+  // The tentpole counter assertion: a write-heavy FASE workload (high line
+  // reuse, so the cache absorbs the stores and each FASE is one flush
+  // epoch) must show strict-mode log traffic O(records) and batched-mode
+  // traffic O(epochs).
+  constexpr int kFaseCount = 50;
+  constexpr int kStoresPerFase = 20;
+  constexpr std::uint64_t kRecords = kFaseCount * kStoresPerFase;
+
+  RuntimeStats stats[2];
+  int i = 0;
+  for (const LogSyncMode mode : {LogSyncMode::kStrict, LogSyncMode::kBatched}) {
+    const std::string region = name_ + "." + to_string(mode);
+    RuntimeConfig config = quick_config(region);
+    config.undo_logging = true;
+    config.log_sync = mode;
+    Runtime rt(config);
+    // 4 lines, cache capacity 8: every line stays cached until FASE end.
+    auto* arr = static_cast<std::uint64_t*>(rt.pm_alloc(4 * kCacheLineSize));
+    for (int f = 0; f < kFaseCount; ++f) {
+      FaseScope fase(rt);
+      for (int s = 0; s < kStoresPerFase; ++s) {
+        rt.pstore(arr[(s % 4) * 8], static_cast<std::uint64_t>(f * 100 + s));
+      }
+    }
+    stats[i++] = rt.stats();
+    rt.destroy_storage();
+  }
+  const RuntimeStats& strict = stats[0];
+  const RuntimeStats& batched = stats[1];
+
+  ASSERT_EQ(strict.log_records, kRecords);
+  ASSERT_EQ(batched.log_records, kRecords);
+  // Strict syncs once per record (2 fences each) plus one commit per FASE.
+  EXPECT_EQ(strict.log_syncs, kRecords);
+  EXPECT_EQ(strict.log_fences, 2 * kRecords + kFaseCount);
+  // Batched syncs once per epoch — here exactly one per FASE, at the first
+  // data-line flush of the end-of-FASE flush burst.
+  EXPECT_EQ(batched.log_syncs, static_cast<std::uint64_t>(kFaseCount));
+  EXPECT_EQ(batched.log_fences,
+            static_cast<std::uint64_t>(2 * kFaseCount + kFaseCount));
+  // Batching must not change the data-line traffic the paper measures.
+  EXPECT_EQ(strict.flushes, batched.flushes);
+  EXPECT_EQ(strict.stores, batched.stores);
+}
+
+TEST_F(RuntimeTest, BatchedRecoveryAcrossRealProcessCrash) {
+  // The fork-crash test under the batched protocol: the child dies inside
+  // a FASE with records appended but never explicitly synced. On the
+  // tmpfs-backed region (the eADR-style emulation model) the appended
+  // bytes survive, and the self-certifying entry walk must find and roll
+  // them back even though the durable tail was never advanced.
+  RuntimeConfig config = quick_config(name_);
+  config.undo_logging = true;
+  config.log_sync = LogSyncMode::kBatched;
+  config.flush = pmem::default_flush_kind();
+
+  {
+    Runtime rt(config);
+    auto* x = rt.pm_new<std::uint64_t>();
+    rt.set_root(x);
+    FaseScope fase(rt);
+    rt.pstore(*x, std::uint64_t{1000});
+  }
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    RuntimeConfig child = config;
+    child.fresh = false;
+    Runtime rt(child);
+    auto* x = static_cast<std::uint64_t*>(rt.get_root());
+    rt.fase_begin();
+    rt.pstore(*x, std::uint64_t{2000});
+    rt.persist_barrier();  // forces one ordered sync mid-FASE
+    rt.pstore(*x, std::uint64_t{3000});  // appended, never synced
+    ::_exit(0);  // no FASE end, no destructors: a hard crash
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+  RuntimeConfig reopen = config;
+  reopen.fresh = false;
+  Runtime rt(reopen);
+  EXPECT_TRUE(rt.needs_recovery());
+  EXPECT_EQ(rt.recover(), 2u);  // both the synced and the unsynced record
+  auto* x = static_cast<std::uint64_t*>(rt.get_root());
+  EXPECT_EQ(*x, 1000u);
+  rt.destroy_storage();
+}
+
+TEST_F(RuntimeTest, ContextFastPathSurvivesAlternatingRuntimes) {
+  // One thread alternating between two live runtimes must keep each
+  // runtime's per-thread state (policy counters, log) separate — the
+  // single-entry thread-local context cache may only ever miss, never
+  // alias.
+  const std::string other_name = unique_name("rt");
+  Runtime a(quick_config(name_));
+  Runtime b(quick_config(other_name));
+  auto* xa = a.pm_new<std::uint64_t>();
+  auto* xb = b.pm_new<std::uint64_t>();
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    {
+      FaseScope fase(a);
+      a.pstore(*xa, i);
+    }
+    {
+      FaseScope fase(b);
+      b.pstore(*xb, i * 2);
+    }
+  }
+  EXPECT_EQ(*xa, 63u);
+  EXPECT_EQ(*xb, 126u);
+  EXPECT_EQ(a.stats().stores, 64u);
+  EXPECT_EQ(a.stats().fases, 64u);
+  EXPECT_EQ(b.stats().stores, 64u);
+  EXPECT_EQ(b.stats().fases, 64u);
+  a.destroy_storage();
+  b.destroy_storage();
+  pmem::PmemRegion::destroy(other_name);
+  pmem::PmemRegion::destroy(other_name + ".log");
+}
+
 TEST_F(RuntimeTest, StatsAggregateCacheSizes) {
   RuntimeConfig config = quick_config(name_);
   config.policy = core::PolicyKind::kSoftCacheOffline;
