@@ -98,6 +98,15 @@ LiveResult run_live(const std::string& workload, core::PolicyKind kind,
       pmem::parse_flush_kind(env_str("NVC_FLUSH", "sim").c_str());
   config.simulated_flush_ns =
       static_cast<std::uint32_t>(env_int("NVC_FLUSH_NS", 250));
+  // NVC_FLUSH_ASYNC=1 routes data-line write-backs through the flush-behind
+  // pipeline (DESIGN.md §8); NVC_FLUSH_QUEUE sets the per-thread ring depth.
+  config.async_flush = env_int("NVC_FLUSH_ASYNC", 0) != 0;
+  config.flush_queue_depth = static_cast<std::size_t>(
+      env_int("NVC_FLUSH_QUEUE",
+              static_cast<std::int64_t>(config.flush_queue_depth)));
+  config.simulated_flush_issue_ns = static_cast<std::uint32_t>(
+      env_int("NVC_FLUSH_ISSUE_NS",
+              static_cast<std::int64_t>(config.simulated_flush_issue_ns)));
   // NVC_LOG=1 turns on durable undo logging; NVC_LOG_SYNC=strict|batched
   // picks the durability protocol (DESIGN.md §7).
   config.undo_logging = env_int("NVC_LOG", 0) != 0;

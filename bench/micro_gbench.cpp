@@ -5,11 +5,14 @@
 
 #include <unistd.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/analyzer.hpp"
+#include "core/flush_pipeline.hpp"
 #include "core/fase_trace.hpp"
 #include "core/mrc.hpp"
 #include "core/policy.hpp"
@@ -243,21 +246,45 @@ std::string unique_region() {
          std::to_string(counter++);
 }
 
+/// NVC_FLUSH selects the flush backend like every harness binary does;
+/// unset keeps the historical default (best real instruction on this CPU)
+/// so committed baselines stay comparable. NVC_FLUSH_NS tunes kSimulated.
+pmem::FlushKind flush_kind_from_env() {
+  const std::string name = env_str("NVC_FLUSH", "");
+  return name.empty() ? pmem::default_flush_kind()
+                      : pmem::parse_flush_kind(name.c_str());
+}
+
+void apply_flush_env(runtime::RuntimeConfig& config) {
+  config.flush = flush_kind_from_env();
+  config.simulated_flush_ns = static_cast<std::uint32_t>(
+      env_int("NVC_FLUSH_NS", config.simulated_flush_ns));
+  config.flush_queue_depth = static_cast<std::size_t>(env_int(
+      "NVC_FLUSH_QUEUE", static_cast<std::int64_t>(config.flush_queue_depth)));
+  config.simulated_flush_issue_ns = static_cast<std::uint32_t>(
+      env_int("NVC_FLUSH_ISSUE_NS",
+              static_cast<std::int64_t>(config.simulated_flush_issue_ns)));
+}
+
 void BM_PstoreFase(benchmark::State& state) {
   // End-to-end pstore cost through the Runtime hot path (ctx lookup, undo
   // logging, policy, flush backend), as FASEs of 16 stores over 16 lines.
   // Arg0 selects the log protocol: 0 = logging off, 1 = strict (Atlas,
   // 2 flush+fence pairs per record), 2 = batched (one sync per epoch).
   // Arg1 selects the policy: 0 = ER (flush per store), 1 = SC-offline.
+  // Arg2 routes data write-backs through the flush-behind pipeline
+  // (DESIGN.md §8) instead of flushing inline on this thread.
   const int log_mode = static_cast<int>(state.range(0));
   const bool soft_cache = state.range(1) == 1;
+  const bool async = state.range(2) == 1;
   runtime::RuntimeConfig config;
   config.region_name = unique_region();
   config.region_size = 4u << 20;
   config.policy = soft_cache ? core::PolicyKind::kSoftCacheOffline
                              : core::PolicyKind::kEager;
   config.policy_config.cache_size = 23;
-  config.flush = pmem::default_flush_kind();
+  apply_flush_env(config);
+  config.async_flush = async;
   config.undo_logging = log_mode != 0;
   config.log_sync = log_mode == 2 ? runtime::LogSyncMode::kBatched
                                   : runtime::LogSyncMode::kStrict;
@@ -276,6 +303,10 @@ void BM_PstoreFase(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           kStoresPerFase);
   const runtime::RuntimeStats stats = rt.stats();
+  state.counters["flushes"] =
+      benchmark::Counter(static_cast<double>(stats.flushes));
+  state.counters["fences"] =
+      benchmark::Counter(static_cast<double>(stats.fences));
   state.counters["log_fences"] =
       benchmark::Counter(static_cast<double>(stats.log_fences));
   state.counters["log_syncs"] =
@@ -283,10 +314,88 @@ void BM_PstoreFase(benchmark::State& state) {
   state.SetLabel(std::string(log_mode == 0 ? "log=off"
                              : log_mode == 1 ? "log=strict"
                                              : "log=batched") +
-                 (soft_cache ? "/SC" : "/ER"));
+                 (soft_cache ? "/SC" : "/ER") + (async ? "/async" : ""));
   rt.destroy_storage();
 }
-BENCHMARK(BM_PstoreFase)->ArgsProduct({{0, 1, 2}, {0, 1}});
+BENCHMARK(BM_PstoreFase)->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}});
+
+// --- flush-behind pipeline (DESIGN.md §8) -----------------------------------
+
+void BM_FlushPipelineIssue(benchmark::State& state) {
+  // What one evicted line costs the application thread. Sync mode pays the
+  // device (simulated write-back, NVC_FLUSH_NS, default 100 ns); async mode
+  // pays a ring push plus the in-flight ticket upsert — the "eviction-path
+  // cost = ring push" claim in executable form.
+  const bool async = state.range(0) == 1;
+  const auto sim_ns =
+      static_cast<std::uint32_t>(env_int("NVC_FLUSH_NS", 100));
+  if (async) {
+    // Ring deeper than the fixed iteration count: nothing overflows, so
+    // every timed iteration is the pure enqueue path.
+    auto channel = FlushWorker::shared().open_channel(
+        std::make_unique<CountingSink>(), 32768);
+    CountingSink local;
+    AsyncFlushSink sink(channel, &local);
+    LineAddr l = 0;
+    for (auto _ : state) {
+      sink.flush_line(++l);
+    }
+    sink.drain();
+  } else {
+    pmem::FlushBackend backend(pmem::FlushKind::kSimulated, sim_ns);
+    alignas(64) static char buffer[64] = {};
+    for (auto _ : state) {
+      backend.flush(&buffer[0]);
+    }
+    backend.fence();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(async ? "async:ring-push" : "sync:sim-flush");
+}
+BENCHMARK(BM_FlushPipelineIssue)->Arg(0)->Arg(1)->Iterations(16384);
+
+void BM_FlushPipelineFase(benchmark::State& state) {
+  // Eviction-heavy FASE: 64 distinct lines through an 8-line soft cache, so
+  // ~56 evictions plus the end-of-FASE drain hit the flush path every
+  // iteration. Sync mode serializes the simulated write-backs on this
+  // thread; async mode overlaps them in the pipelined device (issue slots
+  // instead of full latencies).
+  const bool async = state.range(0) == 1;
+  runtime::RuntimeConfig config;
+  config.region_name = unique_region();
+  config.region_size = 4u << 20;
+  config.policy = core::PolicyKind::kSoftCacheOffline;
+  config.policy_config.cache_size = 8;
+  config.flush = pmem::FlushKind::kSimulated;
+  config.simulated_flush_ns =
+      static_cast<std::uint32_t>(env_int("NVC_FLUSH_NS", 100));
+  config.flush_queue_depth = static_cast<std::size_t>(env_int(
+      "NVC_FLUSH_QUEUE", static_cast<std::int64_t>(config.flush_queue_depth)));
+  config.async_flush = async;
+  config.undo_logging = true;
+  config.log_sync = runtime::LogSyncMode::kBatched;
+  runtime::Runtime rt(config);
+  constexpr int kLines = 64;
+  auto* arr = static_cast<std::uint64_t*>(rt.pm_alloc(kLines * kCacheLineSize));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    rt.fase_begin();
+    for (int s = 0; s < kLines; ++s) {
+      rt.pstore(arr[s * 8], v++);
+    }
+    rt.fase_end();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kLines);
+  const runtime::RuntimeStats stats = rt.stats();
+  state.counters["flushes"] =
+      benchmark::Counter(static_cast<double>(stats.flushes));
+  state.counters["fences"] =
+      benchmark::Counter(static_cast<double>(stats.fences));
+  state.SetLabel(async ? "async" : "sync");
+  rt.destroy_storage();
+}
+BENCHMARK(BM_FlushPipelineFase)->Arg(0)->Arg(1);
 
 void BM_FaseNoop(benchmark::State& state) {
   // An empty begin/end pair: isolates the per-FASE constant (two context
@@ -329,4 +438,35 @@ BENCHMARK(BM_FlushInstruction)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): when NVC_BENCH_JSON names a file
+// (default BENCH_micro.json; empty string disables), results are written
+// there as google-benchmark JSON — name, real/cpu time, and the flush/fence
+// counters — alongside the normal console output. The committed
+// bench/BENCH_micro.baseline.json was produced this way, and
+// bench/compare.py diffs a fresh run against it. Implemented by injecting
+// --benchmark_out flags so an explicit flag on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  const std::string json_path =
+      nvc::env_str("NVC_BENCH_JSON", "BENCH_micro.json");
+  std::string out_flag = "--benchmark_out=" + json_path;
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out_flag = true;
+    }
+  }
+  if (!json_path.empty() && !has_out_flag) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

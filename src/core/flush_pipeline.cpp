@@ -1,0 +1,255 @@
+#include "core/flush_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.hpp"
+
+namespace nvc::core {
+
+namespace {
+
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#endif
+}
+
+/// Worker doze tick. Long enough that an idle worker costs nothing
+/// measurable (5k wakes/s upper bound), short enough that a ring filled
+/// between FASE commits is swept before it backs up.
+constexpr auto kDozeTick = std::chrono::microseconds(200);
+
+/// After a sweep found work, keep polling this long before dozing again —
+/// an eviction storm delivers lines faster than cv wakeups can. Only used
+/// when a spare hardware thread exists; on a single-core host spinning
+/// would steal the producer's timeslice.
+constexpr auto kSpinWindow = std::chrono::microseconds(50);
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// --- FlushChannel -----------------------------------------------------------
+
+bool FlushChannel::try_push(LineAddr line) {
+  if (!queue_.try_push(std::move(line))) return false;
+  pushed_.store(pushed_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  return true;
+}
+
+bool FlushChannel::consume_one() {
+  if (consume_lock_.test_and_set(std::memory_order_acquire)) {
+    return false;  // the other side holds the lock and is making progress
+  }
+  const std::optional<LineAddr> line = queue_.try_pop();
+  if (line.has_value()) {
+    sink_->flush_line(*line);
+    last_flush_thread_ = std::this_thread::get_id();
+    flushed_.fetch_add(1, std::memory_order_release);
+  }
+  consume_lock_.clear(std::memory_order_release);
+  return line.has_value();
+}
+
+void FlushChannel::request_wake() {
+  if (!wake_requested_.exchange(true, std::memory_order_relaxed)) {
+    worker_->poke();
+  }
+}
+
+void FlushChannel::wait_drained() {
+  const std::uint64_t target = pushed_.load(std::memory_order_relaxed);
+  while (flushed_.load(std::memory_order_acquire) < target) {
+    // Help: pop and flush on this thread rather than waiting for the worker
+    // to be scheduled. The whole backlog drains under one lock hold — one
+    // acquire/release and one counter publish per drain, not per line.
+    if (consume_lock_.test_and_set(std::memory_order_acquire)) {
+      // The worker holds the consumer side and is mid-flush on our behalf;
+      // yield so a descheduled worker (single-core host) gets the timeslice
+      // it needs to finish.
+      std::this_thread::yield();
+      continue;
+    }
+    std::uint64_t done = 0;
+    while (std::optional<LineAddr> line = queue_.try_pop()) {
+      sink_->flush_line(*line);
+      ++done;
+    }
+    if (done != 0) {
+      last_flush_thread_ = std::this_thread::get_id();
+      flushed_.fetch_add(done, std::memory_order_release);
+    }
+    consume_lock_.clear(std::memory_order_release);
+    if (done == 0) std::this_thread::yield();
+  }
+}
+
+// --- FlushWorker ------------------------------------------------------------
+
+FlushWorker::FlushWorker()
+    : thread_([this](std::stop_token st) { run(st); }) {}
+
+FlushWorker::~FlushWorker() = default;  // jthread stops and joins
+
+FlushWorker& FlushWorker::shared() {
+  static FlushWorker worker;
+  return worker;
+}
+
+std::shared_ptr<FlushChannel> FlushWorker::open_channel(
+    std::unique_ptr<FlushSink> sink, std::size_t capacity) {
+  NVC_REQUIRE(sink != nullptr);
+  NVC_REQUIRE(is_pow2(capacity), "flush queue depth must be a power of two");
+  std::shared_ptr<FlushChannel> channel(
+      new FlushChannel(this, std::move(sink), capacity));
+  std::lock_guard<std::mutex> lock(mutex_);
+  channels_.push_back(channel);
+  return channel;
+}
+
+void FlushWorker::poke() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poked_ = true;
+  }
+  cv_.notify_one();
+}
+
+std::size_t FlushWorker::sweep(
+    const std::vector<std::shared_ptr<FlushChannel>>& channels) {
+  std::size_t total = 0;
+  for (const auto& ch : channels) {
+    ch->wake_requested_.store(false, std::memory_order_relaxed);
+    while (ch->consume_one()) ++total;
+  }
+  if (total != 0) worker_flushes_.fetch_add(total, std::memory_order_relaxed);
+  return total;
+}
+
+void FlushWorker::run(std::stop_token st) {
+  // On a single-core host the post-work spin below would only steal the
+  // producer's timeslice; drain()'s helping consumer covers latency there.
+  const bool can_spin = std::thread::hardware_concurrency() > 1;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    // Doze: wake on the periodic tick, an explicit poke, or stop. A plain
+    // timeout (predicate false) still sweeps — the tick is the default
+    // delivery mechanism; pokes only accelerate watermark crossings.
+    cv_.wait_for(lock, st, kDozeTick, [&] { return poked_; });
+    poked_ = false;
+    std::vector<std::shared_ptr<FlushChannel>> channels = channels_;
+    lock.unlock();
+
+    if (can_spin) {
+      auto last_work = std::chrono::steady_clock::now();
+      while (!st.stop_requested()) {
+        if (sweep(channels) != 0) {
+          last_work = std::chrono::steady_clock::now();
+        } else if (std::chrono::steady_clock::now() - last_work >
+                   kSpinWindow) {
+          break;
+        } else {
+          cpu_pause();
+        }
+      }
+    } else {
+      sweep(channels);
+    }
+
+    lock.lock();
+    // Prune channels whose producer is gone and whose queue has drained.
+    std::erase_if(channels_, [](const std::shared_ptr<FlushChannel>& ch) {
+      return ch->closed_.load(std::memory_order_acquire) && ch->queue_.empty();
+    });
+    if (st.stop_requested()) return;
+  }
+}
+
+// --- AsyncFlushSink ---------------------------------------------------------
+
+AsyncFlushSink::AsyncFlushSink(std::shared_ptr<FlushChannel> channel,
+                               FlushSink* local, DeviceModel model)
+    : channel_(std::move(channel)),
+      local_(local),
+      model_(model),
+      watermark_(channel_->capacity() / 2) {
+  NVC_REQUIRE(channel_ != nullptr && local_ != nullptr);
+}
+
+AsyncFlushSink::~AsyncFlushSink() {
+  // Leave no line behind: the producer is going away, so write back
+  // anything still queued (helping consumer) and release the channel for
+  // pruning. The channel owns its sink, so the worker side stays valid
+  // even though this producer (and its runtime) is being torn down.
+  channel_->wait_drained();
+  channel_->close();
+}
+
+std::uint64_t AsyncFlushSink::now_ns() const noexcept {
+  return steady_now_ns();
+}
+
+bool AsyncFlushSink::maybe_inflight(LineAddr line) const noexcept {
+  // pending_lines_[i] was push number pending_base_ + i + 1 and is out of
+  // the ring once flushed() covers it, so the still-queued suffix starts at
+  // flushed() - pending_base_. A stale flushed() read only widens the scan
+  // (errs conservatively). The common case — nothing pending since the last
+  // drain — is two counter loads and no scan.
+  const std::uint64_t flushed = channel_->flushed();
+  if (flushed >= pending_base_ + pending_lines_.size()) return false;
+  for (std::size_t i = static_cast<std::size_t>(flushed - pending_base_);
+       i < pending_lines_.size(); ++i) {
+    if (pending_lines_[i] == line) return true;
+  }
+  return false;
+}
+
+void AsyncFlushSink::flush_line(LineAddr line) {
+  if (!channel_->try_push(line)) {
+    // Ring full: absorb backpressure synchronously on this thread. The line
+    // is flushed exactly once either way, so total data traffic is
+    // identical to sync mode.
+    ++overflows_;
+    local_->flush_line(line);
+    return;
+  }
+  pending_lines_.push_back(line);
+  if (model_.issue_ns != 0) {
+    // Pipelined-device model: the line occupies the device for issue_ns
+    // starting when the device is free (or now, if it went idle). The clock
+    // is read once per burst; later pushes just extend the busy window
+    // (over-estimating occupancy across a mid-burst pause is conservative).
+    if (!burst_active_) {
+      burst_active_ = true;
+      device_free_ns_ = std::max(device_free_ns_, now_ns());
+    }
+    device_free_ns_ += model_.issue_ns;
+  }
+  if (channel_->depth() >= watermark_) channel_->request_wake();
+}
+
+void AsyncFlushSink::drain() {
+  channel_->wait_drained();
+  // Every pending entry is now flushed; reset the shadow (capacity kept).
+  pending_base_ += pending_lines_.size();
+  pending_lines_.clear();
+  burst_active_ = false;
+  if (model_.latency_ns > model_.issue_ns) {
+    // Everything is issued; durability of the last line lags its issue slot
+    // by the device's remaining write latency.
+    const std::uint64_t durable_at =
+        device_free_ns_ + (model_.latency_ns - model_.issue_ns);
+    while (now_ns() < durable_at) cpu_pause();
+  }
+  local_->drain();  // fence, counted on the application thread's backend
+}
+
+}  // namespace nvc::core

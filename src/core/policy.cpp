@@ -62,7 +62,8 @@ void EagerPolicy::on_store(LineAddr line, FlushSink& sink) {
 void LazyPolicy::on_store(LineAddr line, FlushSink&) {
   ++counters_.stores;
   counters_.instructions += kInstrLazyStore;
-  auto [it, inserted] = pending_.try_emplace(line, seq_);
+  const auto [slot, inserted] = pending_.try_emplace(line, seq_);
+  (void)slot;
   if (inserted) {
     ++seq_;
   } else {
@@ -74,7 +75,9 @@ void LazyPolicy::flush_pending(FlushSink& sink) {
   // Flush in first-write order for determinism.
   std::vector<std::pair<std::uint64_t, LineAddr>> ordered;
   ordered.reserve(pending_.size());
-  for (const auto& [line, seq] : pending_) ordered.emplace_back(seq, line);
+  pending_.for_each([&ordered](LineAddr line, const std::uint64_t& seq) {
+    ordered.emplace_back(seq, line);
+  });
   std::sort(ordered.begin(), ordered.end());
   for (const auto& [seq, line] : ordered) {
     (void)seq;

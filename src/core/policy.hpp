@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 #include "core/sampler.hpp"
 #include "core/write_cache.hpp"
@@ -128,7 +128,9 @@ class LazyPolicy final : public Policy {
 
  private:
   void flush_pending(FlushSink& sink);
-  std::unordered_map<LineAddr, std::uint64_t> pending_;  // line -> seq
+  /// line -> first-write sequence. Open addressing: LA's per-store cost is
+  /// one linear probe instead of unordered_map's node allocation + chase.
+  FlatHashMap<LineAddr, std::uint64_t> pending_;
   std::uint64_t seq_ = 0;
 };
 

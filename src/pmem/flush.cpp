@@ -110,6 +110,24 @@ void FlushBackend::flush(const void* addr) noexcept {
   }
 }
 
+void FlushBackend::issue(const void* addr) noexcept {
+  ++flushes_;
+  switch (kind_) {
+    case FlushKind::kClflush:
+      do_clflush(addr);
+      break;
+    case FlushKind::kClflushopt:
+      do_clflushopt(addr);
+      break;
+    case FlushKind::kClwb:
+      do_clwb(addr);
+      break;
+    case FlushKind::kSimulated:
+    case FlushKind::kCountOnly:
+      break;
+  }
+}
+
 void FlushBackend::flush_range(const void* addr, std::size_t size) noexcept {
   if (size == 0) return;
   auto first = reinterpret_cast<std::uintptr_t>(addr) & ~(kCacheLineSize - 1);

@@ -43,6 +43,13 @@ class FlushBackend {
   /// Write back (and possibly invalidate) the cache line holding `addr`.
   void flush(const void* addr) noexcept;
 
+  /// Posted variant for the flush-behind pipeline: issue the write-back
+  /// without stalling for its completion. The hardware kinds execute the
+  /// (posted) instruction — the fence is where completion is awaited; the
+  /// simulated kind only counts, because the async sink models the device
+  /// timeline at the producer instead of spinning here on the worker.
+  void issue(const void* addr) noexcept;
+
   /// Flush every line in [addr, addr+size).
   void flush_range(const void* addr, std::size_t size) noexcept;
 

@@ -21,4 +21,27 @@ class BackendSink final : public core::FlushSink {
   pmem::FlushBackend* backend_;
 };
 
+/// Worker-side sink for the flush-behind pipeline (core::FlushChannel owns
+/// one). It owns its backend outright — the backend's plain counters are
+/// only ever touched from whichever thread holds the channel's consumer
+/// lock, and stats aggregation reads the channel's atomic flushed() count
+/// instead — and issues posted write-backs: the producer's drain() fence
+/// (and, for the simulated kind, its device-timeline model) is where
+/// completion is awaited, so the worker never stalls per line.
+class IssueSink final : public core::FlushSink {
+ public:
+  IssueSink(pmem::FlushKind kind, std::uint32_t simulated_latency_ns)
+      : backend_(kind, simulated_latency_ns) {}
+
+  void flush_line(LineAddr line) override {
+    backend_.issue(reinterpret_cast<const void*>(line_base(line)));
+  }
+  void drain() override { backend_.fence(); }
+
+  const pmem::FlushBackend& backend() const noexcept { return backend_; }
+
+ private:
+  pmem::FlushBackend backend_;
+};
+
 }  // namespace nvc::runtime

@@ -1,10 +1,13 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstring>
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "core/flush_pipeline.hpp"
 #include "core/log_ordered_sink.hpp"
 #include "runtime/backend_sink.hpp"
 
@@ -15,6 +18,42 @@ namespace {
 std::uint64_t next_instance_id() {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Open this thread's ring to the shared flush worker. The channel owns the
+/// worker-side IssueSink (posted write-backs, private backend) so it stays
+/// valid even if the worker still holds the channel after the runtime dies.
+std::shared_ptr<core::FlushChannel> open_flush_channel(
+    const RuntimeConfig& config) {
+  if (!config.async_flush) return nullptr;
+  // Sanitize the configured depth (it arrives from NVC_FLUSH_QUEUE in the
+  // harness): clamp to a sane range and round up to the power of two the
+  // ring requires, instead of aborting on a typo.
+  std::size_t depth = config.flush_queue_depth;
+  if (depth < 16) depth = 16;
+  if (depth > (std::size_t{1} << 20)) depth = std::size_t{1} << 20;
+  depth = std::bit_ceil(depth);
+  return core::FlushWorker::shared().open_channel(
+      std::make_unique<IssueSink>(config.flush, config.simulated_flush_ns),
+      depth);
+}
+
+/// Device timing model for the async sink: active only when the backend
+/// resolves to the simulated kind (hardware kinds self-time). Occupancy
+/// defaults to a quarter of the full write latency — a pipelined device
+/// accepts lines ~4x faster than one synchronous strongly-ordered flush
+/// completes (see DESIGN.md §8).
+core::AsyncFlushSink::DeviceModel device_model(const RuntimeConfig& config) {
+  core::AsyncFlushSink::DeviceModel model;
+  const pmem::FlushBackend probe(config.flush, config.simulated_flush_ns);
+  if (probe.kind() == pmem::FlushKind::kSimulated) {
+    model.latency_ns = config.simulated_flush_ns;
+    model.issue_ns = config.simulated_flush_issue_ns != 0
+                         ? config.simulated_flush_issue_ns
+                         : std::max<std::uint32_t>(
+                               1, config.simulated_flush_ns / 4);
+  }
+  return model;
 }
 
 }  // namespace
@@ -32,15 +71,26 @@ struct Runtime::ThreadContext {
                 ? std::make_unique<UndoLog>(log_base, config.log_segment_size,
                                             &log_sink, config.log_sync)
                 : nullptr),
-        ordered_sink(&sink, log.get()) {}
+        flush_channel(open_flush_channel(config)),
+        async_sink(flush_channel != nullptr
+                       ? std::make_unique<core::AsyncFlushSink>(
+                             flush_channel, &sink, device_model(config))
+                       : nullptr),
+        ordered_sink(async_sink != nullptr
+                         ? static_cast<core::FlushSink*>(async_sink.get())
+                         : &sink,
+                     log.get()) {}
 
   /// The sink policies flush into. With a log, data flushes are routed
   /// through the ordering decorator so log entries are durable before any
   /// line they cover (the batched-mode invariant; a cheap no-op in strict
-  /// mode, where record() already synced).
+  /// mode, where record() already synced). The decorator wraps the async
+  /// sink when the flush-behind pipeline is on — the log sync therefore
+  /// happens at *enqueue* time, before a line can enter the ring.
   core::FlushSink& data_sink() noexcept {
-    return log ? static_cast<core::FlushSink&>(ordered_sink)
-               : static_cast<core::FlushSink&>(sink);
+    if (log) return ordered_sink;
+    if (async_sink) return *async_sink;
+    return sink;
   }
 
   std::size_t slot;
@@ -50,6 +100,12 @@ struct Runtime::ThreadContext {
   BackendSink log_sink;
   std::unique_ptr<core::Policy> policy;
   std::unique_ptr<UndoLog> log;
+  /// Flush-behind pipeline state (async mode only). Declared before
+  /// ordered_sink (which points into async_sink) and destroyed after it;
+  /// the AsyncFlushSink destructor drains the ring while the data region
+  /// is still mapped (contexts die before the allocator in ~Runtime).
+  std::shared_ptr<core::FlushChannel> flush_channel;
+  std::unique_ptr<core::AsyncFlushSink> async_sink;
   core::LogOrderedSink ordered_sink;
   std::uint32_t fase_depth = 0;
 };
@@ -180,6 +236,21 @@ void Runtime::pstore(void* dst, const void* src, std::size_t len) {
                     piece);
       done += piece;
     }
+    if (c.async_sink) {
+      // Write-after-enqueue hazard (DESIGN.md §8): if any line this store
+      // touches is still queued in the flush-behind ring, the background
+      // write-back may carry this store's new bytes — so this store's undo
+      // record must be durable before the data write below.
+      const auto a = reinterpret_cast<PmAddr>(dst);
+      const LineAddr first = line_of(a);
+      const LineAddr last = line_of(a + len - 1);
+      for (LineAddr line = first; line <= last; ++line) {
+        if (c.async_sink->maybe_inflight(line)) {
+          c.log->sync();
+          break;
+        }
+      }
+    }
   }
   std::memcpy(dst, src, len);
   pwrote_in(c, dst, len);
@@ -260,6 +331,15 @@ RuntimeStats Runtime::stats() const {
     s.instructions += pc.instructions;
     s.flushes += c->backend.flush_count();
     s.fences += c->backend.fence_count();
+    if (c->flush_channel) {
+      // Lines written back through the flush-behind pipeline. The channel's
+      // release-ordered counter is the authoritative count; the worker-side
+      // backend's plain counters are never read here, so stats() cannot
+      // race with an in-flight worker write-back. The app-side backend
+      // above only counts overflow/sync flushes and fences, and is only
+      // ever mutated by its owning thread.
+      s.flushes += c->flush_channel->flushed();
+    }
     s.log_flushes += c->log_backend.flush_count();
     s.log_fences += c->log_backend.fence_count();
     if (c->log) {
@@ -277,6 +357,16 @@ RuntimeStats Runtime::stats() const {
 void Runtime::destroy_storage() {
   const std::string data_name = config_.region_name;
   const std::string log_name = config_.region_name + ".log";
+  {
+    // Write back anything still queued in the pipeline while the region is
+    // still mapped (an eviction pushed outside a FASE has no commit point
+    // to drain it). Producers must be quiescent by now — destroy_storage
+    // is teardown — so draining from this thread is safe.
+    std::lock_guard<std::mutex> lock(contexts_mutex_);
+    for (const auto& c : contexts_) {
+      if (c->flush_channel) c->flush_channel->wait_drained();
+    }
+  }
   allocator_.reset();
   log_region_ = pmem::PmemRegion();
   pmem::PmemRegion::destroy(data_name);

@@ -46,6 +46,18 @@ struct RuntimeConfig {
   pmem::FlushKind flush = pmem::default_flush_kind();
   std::uint32_t simulated_flush_ns = 100;
 
+  /// Flush-behind pipeline (NVC_FLUSH_ASYNC=1): data-line write-backs are
+  /// enqueued to the shared background FlushWorker instead of executing on
+  /// the application thread; commit points (drain) wait on a completion
+  /// ticket. Synchronous flushing stays the default (DESIGN.md §8).
+  bool async_flush = false;
+  /// Per-thread flush ring capacity in lines (NVC_FLUSH_QUEUE; power of
+  /// two). A full ring falls back to a synchronous local flush.
+  std::size_t flush_queue_depth = 1024;
+  /// Simulated backend only: modeled per-line device occupancy (pipelined
+  /// issue interval) used by the async path. 0 = simulated_flush_ns / 4.
+  std::uint32_t simulated_flush_issue_ns = 0;
+
   /// Durable undo logging (off for pure flush-counting experiments).
   bool undo_logging = false;
   /// When records become durable: per record (kStrict, Atlas' protocol) or

@@ -14,14 +14,25 @@
 // A separate test checks strict/batched equivalence: same script, identical
 // recovered-equivalent durable data images and identical data-flush counts,
 // with batched issuing strictly fewer log fences.
+//
+// The async dimension runs the same engine with the flush-behind pipeline
+// (core/flush_pipeline.hpp) in the data path: evicted lines queue in a ring
+// popped by the background FlushWorker, so a freeze can land while lines
+// are still queued — those write-backs claim later event indices and are
+// dropped, exactly modeling power failing with writes still in flight. The
+// sweep asserts recovery lands on a committed FASE at *every* freeze point,
+// and an equivalence test asserts async data traffic is identical to sync.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/flush_pipeline.hpp"
 #include "core/log_ordered_sink.hpp"
 #include "core/policy.hpp"
 #include "pmem/shadow.hpp"
@@ -45,7 +56,7 @@ using DataImage = std::array<std::uint64_t, kCells>;
 /// [0, kDataBytes) data cells, [kLogOff, kLogOff+kLogBytes) log segment.
 class CrashRig {
  public:
-  explicit CrashRig(LogSyncMode mode)
+  explicit CrashRig(LogSyncMode mode, bool async = false)
       : mode_(mode),
         shadow_(kShadowBytes),
         log_shift_(line_of(reinterpret_cast<PmAddr>(shadow_.volatile_base()))),
@@ -57,15 +68,32 @@ class CrashRig {
     log_ = std::make_unique<UndoLog>(shadow_.volatile_base() + kLogOff,
                                      kLogBytes, &log_sink_, mode_);
     log_->format();  // pre-script: not an event, cannot be frozen away
-    ordered_ = std::make_unique<core::LogOrderedSink>(&data_sink_, log_.get());
+    if (async) {
+      // Flush-behind data path: a tiny ring (overflow falls back to the
+      // synchronous FreezeSink) drained by the shared background worker.
+      flush_channel_ = core::FlushWorker::shared().open_channel(
+          std::make_unique<ForwardSink>(&data_sink_), /*capacity=*/8);
+      async_sink_ = std::make_unique<core::AsyncFlushSink>(flush_channel_,
+                                                           &data_sink_);
+    }
+    ordered_ = std::make_unique<core::LogOrderedSink>(
+        async_sink_ ? static_cast<core::FlushSink*>(async_sink_.get())
+                    : &data_sink_,
+        log_.get());
     counting_ = true;
   }
 
   /// Power fails once `events()` reaches `event`: later flushes are lost.
   void freeze_at(std::uint64_t event) { freeze_event_ = event; }
-  std::uint64_t events() const noexcept { return events_; }
-  std::uint64_t data_flushes() const noexcept { return data_sink_.flushes; }
-  std::uint64_t log_fences() const noexcept { return log_sink_.fences; }
+  std::uint64_t events() const noexcept {
+    return events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t data_flushes() const noexcept {
+    return data_sink_.flushes.load(std::memory_order_relaxed);
+  }
+  std::uint64_t log_fences() const noexcept {
+    return log_sink_.fences.load(std::memory_order_relaxed);
+  }
 
   void fase_begin() { policy_->on_fase_begin(*ordered_); }
 
@@ -79,10 +107,24 @@ class CrashRig {
 
   void pstore(std::size_t cell, std::uint64_t value) {
     const PmAddr addr = cell * sizeof(std::uint64_t);
-    std::uint64_t old = shadow_.load_value<std::uint64_t>(addr);
+    std::uint64_t old;
+    {
+      std::lock_guard<std::mutex> lock(shadow_mutex_);
+      old = shadow_.load_value<std::uint64_t>(addr);
+    }
     log_->record(addr, &old, sizeof old);
-    shadow_.store_value(addr, value);
-    bump();
+    if (async_sink_ && async_sink_->maybe_inflight(line_of(addr))) {
+      // Write-after-enqueue hazard (DESIGN.md §8, mirrors Runtime::pstore):
+      // this line may still be queued, so its eventual write-back can carry
+      // this store's bytes — the record covering them must be durable
+      // before the data write below.
+      log_->sync();
+    }
+    {
+      std::lock_guard<std::mutex> lock(shadow_mutex_);
+      shadow_.store_value(addr, value);
+    }
+    claim_event();
     policy_->on_store(line_of(addr), *ordered_);
   }
 
@@ -90,6 +132,10 @@ class CrashRig {
   /// image, run log recovery, persist the rolled-back bytes, and return
   /// the durable data region a restarted process would see.
   DataImage recovered_data() {
+    // Quiesce the pipeline first: write-backs of lines that were still
+    // queued at the freeze point claim post-freeze event indices and drop
+    // — power failed with those writes in flight, they never persist.
+    if (flush_channel_) flush_channel_->wait_drained();
     shadow_.crash();  // everything unflushed is gone
     LiveSink rsink(&shadow_, log_shift_);
     UndoLog log(shadow_.volatile_base() + kLogOff, kLogBytes, &rsink, mode_);
@@ -120,16 +166,29 @@ class CrashRig {
     FreezeSink(CrashRig* owner, LineAddr line_shift)
         : rig(owner), shift(line_shift) {}
     void flush_line(LineAddr line) override {
-      ++flushes;
-      rig->bump();
-      if (rig->frozen()) return;  // power is off: the line never persists
+      flushes.fetch_add(1, std::memory_order_relaxed);
+      // Atomically claim this flush's event index: in async mode the
+      // background worker and the application thread race for slots, and
+      // the power-failure cut must be a single consistent point.
+      const std::uint64_t e = rig->claim_event();
+      if (!rig->powered(e)) return;  // power is off: the line never persists
+      std::lock_guard<std::mutex> lock(rig->shadow_mutex_);
       rig->shadow_.flush_line(line - shift);
     }
-    void drain() override { ++fences; }
+    void drain() override { fences.fetch_add(1, std::memory_order_relaxed); }
     CrashRig* rig;
     LineAddr shift;
-    std::uint64_t flushes = 0;
-    std::uint64_t fences = 0;
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> fences{0};
+  };
+
+  /// Worker-side sink for the async data path: the channel owns this thin
+  /// forwarder while the FreezeSink (and its counters) stay with the rig.
+  struct ForwardSink final : core::FlushSink {
+    explicit ForwardSink(core::FlushSink* t) : target(t) {}
+    void flush_line(LineAddr line) override { target->flush_line(line); }
+    void drain() override {}
+    core::FlushSink* target;
   };
 
   /// Recovery-time sink: never frozen (the machine is back up).
@@ -144,22 +203,38 @@ class CrashRig {
     LineAddr shift;
   };
 
-  void bump() {
-    if (counting_) ++events_;
+  /// Claim the next event index (0 during pre-script setup, which cannot
+  /// be frozen away).
+  std::uint64_t claim_event() {
+    if (!counting_) return 0;
+    return events_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  bool frozen() const noexcept { return events_ > freeze_event_; }
+  bool powered(std::uint64_t event) const noexcept {
+    return event <= freeze_event_;
+  }
 
   LogSyncMode mode_;
   pmem::ShadowPmem shadow_;
   LineAddr log_shift_;
+  bool counting_ = false;
+  std::atomic<std::uint64_t> events_{0};
+  std::uint64_t freeze_event_ = ~std::uint64_t{0};
+  /// Serializes shadow-image access: the worker's write-back of a queued
+  /// line may race the application thread's store to the same line (on
+  /// hardware the coherent cache arbitrates; the shadow model needs a
+  /// lock). Ordering between the two stays nondeterministic — that is the
+  /// interleaving the matrix sweeps.
+  std::mutex shadow_mutex_;
   FreezeSink data_sink_;
   FreezeSink log_sink_;
   std::unique_ptr<core::Policy> policy_;
   std::unique_ptr<UndoLog> log_;
+  /// Async members sit between the sinks they use and ordered_ (which
+  /// points at async_sink_): destruction drains the ring while the shadow
+  /// and the FreezeSink are still alive.
+  std::shared_ptr<core::FlushChannel> flush_channel_;
+  std::unique_ptr<core::AsyncFlushSink> async_sink_;
   std::unique_ptr<core::LogOrderedSink> ordered_;
-  bool counting_ = false;
-  std::uint64_t events_ = 0;
-  std::uint64_t freeze_event_ = ~std::uint64_t{0};
 };
 
 /// Deterministic script; returns the expected data image after each
@@ -191,42 +266,61 @@ int snapshot_index(const std::vector<DataImage>& snapshots,
   return -1;
 }
 
-class CrashMatrix : public ::testing::TestWithParam<LogSyncMode> {};
+struct MatrixParam {
+  LogSyncMode mode;
+  bool async;
+};
+
+class CrashMatrix : public ::testing::TestWithParam<MatrixParam> {};
 
 TEST_P(CrashMatrix, EveryFreezePointRecoversToACommittedFase) {
-  const LogSyncMode mode = GetParam();
+  const auto [mode, async] = GetParam();
 
   // Dry run: learn the event count and the expected per-FASE snapshots.
-  CrashRig dry(mode);
+  CrashRig dry(mode, async);
   const auto snapshots = run_script(dry);
   const std::uint64_t total = dry.events();
   ASSERT_GT(total, 100u) << "script too small to exercise boundaries";
 
+  // Async runs are nondeterministic in their event *indexing* (worker
+  // write-backs race the application thread for slots, and each hazard
+  // sync adds log flushes), so a run's total can exceed the dry run's;
+  // sweep well past it so late freeze points are hit in any interleaving.
+  const std::uint64_t sweep_end = async ? total + 256 : total;
+
   int max_recovered = -1;
-  for (std::uint64_t e = 0; e <= total; ++e) {
-    CrashRig rig(mode);
+  for (std::uint64_t e = 0; e <= sweep_end; ++e) {
+    CrashRig rig(mode, async);
     rig.freeze_at(e);
     (void)run_script(rig);
     const DataImage image = rig.recovered_data();
     const int idx = snapshot_index(snapshots, image);
-    ASSERT_GE(idx, 0) << to_string(mode) << ": freeze at event " << e << "/"
-                      << total
+    ASSERT_GE(idx, 0) << to_string(mode) << (async ? "/async" : "/sync")
+                      << ": freeze at event " << e << "/" << total
                       << " recovered a state matching no committed FASE";
-    // Durability is monotone in the freeze point: a later crash can never
-    // recover to an older committed state.
-    ASSERT_GE(idx, max_recovered) << to_string(mode) << ": freeze " << e;
+    if (!async) {
+      // Durability is monotone in the freeze point: a later crash can never
+      // recover to an older committed state. (Async runs are separate
+      // interleavings per freeze index, so cross-run monotonicity is not a
+      // guarantee — all-or-nothing above is.)
+      ASSERT_GE(idx, max_recovered) << to_string(mode) << ": freeze " << e;
+    }
     max_recovered = std::max(max_recovered, idx);
   }
   // The unfrozen end of the sweep must have reached the final state.
   EXPECT_EQ(max_recovered, kFases);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothModes, CrashMatrix,
-                         ::testing::Values(LogSyncMode::kStrict,
-                                           LogSyncMode::kBatched),
-                         [](const auto& param_info) {
-                           return std::string(to_string(param_info.param));
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CrashMatrix,
+    ::testing::Values(MatrixParam{LogSyncMode::kStrict, false},
+                      MatrixParam{LogSyncMode::kBatched, false},
+                      MatrixParam{LogSyncMode::kStrict, true},
+                      MatrixParam{LogSyncMode::kBatched, true}),
+    [](const auto& param_info) {
+      return std::string(to_string(param_info.param.mode)) +
+             (param_info.param.async ? "Async" : "Sync");
+    });
 
 TEST(CrashEquivalence, StrictAndBatchedConvergeWithFewerLogFences) {
   CrashRig strict(LogSyncMode::kStrict);
@@ -246,6 +340,24 @@ TEST(CrashEquivalence, StrictAndBatchedConvergeWithFewerLogFences) {
   // Strict pays 2 fences per record plus 1 per commit (+1 from format()).
   EXPECT_EQ(strict.log_fences(),
             2u * kFases * kStoresPerFase + kFases + 1);
+}
+
+TEST(CrashEquivalence, AsyncDataTrafficIsIdenticalToSync) {
+  // The pipeline moves write-backs in time, never adds or drops any: for
+  // both log protocols, the async engine must produce exactly the sync
+  // engine's durable image, per-FASE snapshots, and data-flush count.
+  for (const LogSyncMode mode :
+       {LogSyncMode::kStrict, LogSyncMode::kBatched}) {
+    CrashRig sync_rig(mode, /*async=*/false);
+    const auto sync_snaps = run_script(sync_rig);
+    CrashRig async_rig(mode, /*async=*/true);
+    const auto async_snaps = run_script(async_rig);
+    ASSERT_EQ(sync_snaps, async_snaps) << to_string(mode);
+    EXPECT_EQ(sync_rig.durable_data(), async_rig.durable_data())
+        << to_string(mode);
+    EXPECT_EQ(sync_rig.data_flushes(), async_rig.data_flushes())
+        << to_string(mode);
+  }
 }
 
 TEST(CrashEquivalence, BatchedRecoversIdenticallyToStrictAtSharedBoundaries) {
