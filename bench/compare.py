@@ -36,6 +36,11 @@ on an 8 ns ring-push micro is below this host's measurement noise, not a
 regression. Counters (flushes, fences, ...) are carried through to the
 report for context but are not gated: they are exact re-runnable
 invariants covered by the test suite, while wall-clock needs slack.
+
+Exit codes: 0 = no regression, 1 = at least one gated regression,
+2 = the gate could not run (bad usage, missing or malformed input file).
+Covered by tests/test_compare_gate.py against golden fixtures in
+tests/data/compare/.
 """
 
 import json
@@ -106,8 +111,16 @@ def main(argv):
     min_delta_ns = float(os.environ.get("NVC_BENCH_MIN_DELTA_NS", "20"))
     to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-    current = load_results(current_path)
-    baseline = load_results(baseline_path)
+    try:
+        current = load_results(current_path)
+        baseline = load_results(baseline_path)
+    except FileNotFoundError as err:
+        # Distinct from a regression (1): the gate could not run at all.
+        print("compare.py: cannot load results: %s" % err)
+        return 2
+    except json.JSONDecodeError as err:
+        print("compare.py: malformed results file: %s" % err)
+        return 2
 
     regressions = []
     compared = 0

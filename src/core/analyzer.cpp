@@ -27,6 +27,17 @@ BurstAnalysis analyze_burst(std::span<const LineAddr> renamed_trace,
 bool AnalysisChannel::submit(std::vector<LineAddr>&& renamed_trace,
                              const KneeConfig& knee) {
   Job job{std::move(renamed_trace), knee};
+  if (manual_) {
+    // No worker handshake: the job sits in the ring until the owner pumps
+    // it (touching pending_ would leave the worker thread spinning on a
+    // channel it cannot see).
+    if (!queue_.try_push(std::move(job))) {
+      renamed_trace = std::move(job.trace);
+      return false;
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   // Count the job before it becomes poppable so the worker's per-pop
   // decrement can never underflow the counter.
   worker_->pending_.fetch_add(1, std::memory_order_release);
@@ -40,7 +51,27 @@ bool AnalysisChannel::submit(std::vector<LineAddr>&& renamed_trace,
   return true;
 }
 
-void AnalysisChannel::drain() const {
+bool AnalysisChannel::pump_one() {
+  NVC_REQUIRE(manual_, "pump_one is the manual channel's consumer side");
+  auto job = queue_.try_pop();
+  if (!job.has_value()) return false;
+  BurstAnalysis result = analyze_burst(job->trace, job->knee);
+  {
+    std::lock_guard<std::mutex> publish(result_mutex_);
+    result_ = std::move(result);
+    has_result_ = true;
+    analysis_thread_ = std::this_thread::get_id();
+  }
+  completed_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+void AnalysisChannel::drain() {
+  if (manual_) {
+    while (pump_one()) {
+    }
+    return;
+  }
   const std::uint64_t target = submitted_.load(std::memory_order_relaxed);
   std::uint64_t done = completed_.load(std::memory_order_acquire);
   while (done < target) {
@@ -74,10 +105,19 @@ AnalysisWorker& AnalysisWorker::shared() {
 }
 
 std::shared_ptr<AnalysisChannel> AnalysisWorker::open_channel() {
-  std::shared_ptr<AnalysisChannel> channel(new AnalysisChannel(this));
+  std::shared_ptr<AnalysisChannel> channel(
+      new AnalysisChannel(this, /*manual=*/false));
   std::lock_guard<std::mutex> lock(mutex_);
   channels_.push_back(channel);
   return channel;
+}
+
+std::shared_ptr<AnalysisChannel> AnalysisWorker::open_manual_channel() {
+  // Not registered in channels_: the worker thread never pops from it, so
+  // pump_one() is the single consumer and completion timing is whatever
+  // the owning test's scheduler decides.
+  return std::shared_ptr<AnalysisChannel>(
+      new AnalysisChannel(this, /*manual=*/true));
 }
 
 void AnalysisWorker::notify() {

@@ -76,7 +76,9 @@ class AnalysisChannel {
   }
 
   /// Block until every submitted job has been analyzed (shutdown drain).
-  void drain() const;
+  /// On a manual channel this pumps the queue on the calling thread
+  /// instead of waiting — there is no worker to wait for.
+  void drain();
 
   /// Take the most recent published result (empty if none since last take).
   std::optional<BurstAnalysis> take_result();
@@ -88,6 +90,15 @@ class AnalysisChannel {
   /// Producer is going away; the worker prunes the channel once drained.
   void close() noexcept { closed_.store(true, std::memory_order_release); }
 
+  /// Pop one queued job, analyze it on the calling thread, and publish the
+  /// result (true when a job ran). Only valid on *manual* channels
+  /// (open_manual_channel), where the caller is the sole consumer — a
+  /// deterministic test scheduler standing in for the worker thread.
+  bool pump_one();
+
+  /// True for channels the background worker never serves.
+  bool manual() const noexcept { return manual_; }
+
  private:
   friend class AnalysisWorker;
 
@@ -96,11 +107,15 @@ class AnalysisChannel {
     KneeConfig knee;
   };
 
-  explicit AnalysisChannel(AnalysisWorker* worker) : worker_(worker) {}
+  AnalysisChannel(AnalysisWorker* worker, bool manual)
+      : worker_(worker), manual_(manual) {}
 
   static constexpr std::size_t kRingSlots = 8;
 
   AnalysisWorker* worker_;
+  /// Never served by the worker thread; jobs run only via pump_one() (or
+  /// the producer's drain). submit() skips the worker handshake entirely.
+  const bool manual_ = false;
   SpscQueue<Job> queue_{kRingSlots};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
@@ -126,6 +141,12 @@ class AnalysisWorker {
 
   /// Open a new producer channel served by this worker.
   std::shared_ptr<AnalysisChannel> open_channel();
+
+  /// Open a channel this worker will NEVER serve: analyses run only when
+  /// the owner calls AnalysisChannel::pump_one(). Lets the crash fuzzer
+  /// decide deterministically (from a seed) *when* a background analysis
+  /// completes relative to the application's FASE stream.
+  std::shared_ptr<AnalysisChannel> open_manual_channel();
 
   std::uint64_t analyses_run() const noexcept {
     return analyses_.load(std::memory_order_relaxed);

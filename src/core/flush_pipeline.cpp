@@ -59,6 +59,7 @@ bool FlushChannel::consume_one() {
 }
 
 void FlushChannel::request_wake() {
+  if (manual_) return;  // no worker serves this channel
   if (!wake_requested_.exchange(true, std::memory_order_relaxed)) {
     worker_->poke();
   }
@@ -108,10 +109,21 @@ std::shared_ptr<FlushChannel> FlushWorker::open_channel(
   NVC_REQUIRE(sink != nullptr);
   NVC_REQUIRE(is_pow2(capacity), "flush queue depth must be a power of two");
   std::shared_ptr<FlushChannel> channel(
-      new FlushChannel(this, std::move(sink), capacity));
+      new FlushChannel(this, std::move(sink), capacity, /*manual=*/false));
   std::lock_guard<std::mutex> lock(mutex_);
   channels_.push_back(channel);
   return channel;
+}
+
+std::shared_ptr<FlushChannel> FlushWorker::open_manual_channel(
+    std::unique_ptr<FlushSink> sink, std::size_t capacity) {
+  NVC_REQUIRE(sink != nullptr);
+  NVC_REQUIRE(is_pow2(capacity), "flush queue depth must be a power of two");
+  // Deliberately NOT registered in channels_: the worker thread never sees
+  // it, so the only consumers are pump_one() calls and helping drains —
+  // both on the owner's thread, both deterministic.
+  return std::shared_ptr<FlushChannel>(
+      new FlushChannel(this, std::move(sink), capacity, /*manual=*/true));
 }
 
 void FlushWorker::poke() {

@@ -95,6 +95,17 @@ class FlushChannel {
   /// Call only after wait_drained().
   void close() noexcept { closed_.store(true, std::memory_order_release); }
 
+  /// Pop and write back one queued line, if any (true when a line was
+  /// flushed). Serialized against the worker and a helping drain by the
+  /// consumer lock, so it is safe on any channel — but it exists for
+  /// *manual* channels (open_manual_channel), where a deterministic test
+  /// scheduler is the only consumer and interleavings replay from a seed.
+  bool pump_one() { return consume_one(); }
+
+  /// True for channels the background worker never sweeps (deterministic
+  /// test channels; see FlushWorker::open_manual_channel).
+  bool manual() const noexcept { return manual_; }
+
   /// Producer: wake the worker unless it has already been asked since its
   /// last sweep (high-watermark crossing). Amortizes the poke's mutex
   /// round-trip over a whole eviction burst.
@@ -110,8 +121,9 @@ class FlushChannel {
   friend class FlushWorker;
 
   FlushChannel(FlushWorker* worker, std::unique_ptr<FlushSink> sink,
-               std::size_t capacity)
-      : worker_(worker), sink_(std::move(sink)), queue_(capacity) {}
+               std::size_t capacity, bool manual)
+      : worker_(worker), sink_(std::move(sink)), queue_(capacity),
+        manual_(manual) {}
 
   /// Pop and flush one line if any is ready. Returns false when the ring
   /// was empty or another thread holds the consumer side right now (it is
@@ -121,6 +133,10 @@ class FlushChannel {
   FlushWorker* worker_;
   std::unique_ptr<FlushSink> sink_;  // worker-side write-back target
   SpscQueue<LineAddr> queue_;
+  /// Never swept by the worker thread; consumed only by pump_one() and the
+  /// helping drain. request_wake() is a no-op so a watermark crossing
+  /// cannot put the worker thread into the interleaving.
+  const bool manual_ = false;
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> flushed_{0};
   std::atomic<bool> closed_{false};
@@ -156,6 +172,14 @@ class FlushWorker {
   /// `sink`; `capacity` must be a power of two.
   std::shared_ptr<FlushChannel> open_channel(std::unique_ptr<FlushSink> sink,
                                              std::size_t capacity);
+
+  /// Open a channel this worker will NEVER sweep: write-backs happen only
+  /// when the owner calls FlushChannel::pump_one() or a drain helps. The
+  /// crash fuzzer uses this to explore worker/application interleavings
+  /// deterministically from a seed (a virtual scheduler decides when the
+  /// "worker" runs) instead of depending on real thread scheduling.
+  std::shared_ptr<FlushChannel> open_manual_channel(
+      std::unique_ptr<FlushSink> sink, std::size_t capacity);
 
   /// Wake the worker now (high-watermark push, tests).
   void poke();

@@ -187,6 +187,11 @@ class SoftCachePolicy final : public Policy {
   /// already drains and applies).
   void drain_analysis() { sampler_.drain(); }
 
+  /// Manual-analysis mode (SamplerConfig::manual_analysis): run one
+  /// handed-off burst analysis now, on this thread. The deterministic
+  /// stand-in for the background worker's scheduling.
+  bool pump_analysis() { return sampler_.pump_analysis(); }
+
   const WriteCache& cache() const noexcept { return cache_; }
   const BurstSampler& sampler() const noexcept { return sampler_; }
 

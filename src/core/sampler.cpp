@@ -7,9 +7,12 @@ namespace nvc::core {
 BurstSampler::BurstSampler(SamplerConfig config)
     : config_(config), fases_to_skip_(config.skip_fases) {
   NVC_REQUIRE(config_.burst_length >= 2, "a burst must contain reuses");
+  if (config_.manual_analysis) config_.async_analysis = true;
   burst_trace_.reserve(static_cast<std::size_t>(config_.burst_length));
   if (config_.async_analysis) {
-    channel_ = AnalysisWorker::shared().open_channel();
+    channel_ = config_.manual_analysis
+                   ? AnalysisWorker::shared().open_manual_channel()
+                   : AnalysisWorker::shared().open_channel();
   }
 }
 
@@ -97,6 +100,10 @@ std::optional<std::size_t> BurstSampler::poll_selection() {
 
 void BurstSampler::drain() {
   if (channel_) channel_->drain();
+}
+
+bool BurstSampler::pump_analysis() {
+  return channel_ && channel_->manual() && channel_->pump_one();
 }
 
 bool BurstSampler::analysis_in_flight() const {

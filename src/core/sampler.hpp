@@ -51,6 +51,11 @@ struct SamplerConfig {
   /// Run the burst analysis on the shared background worker instead of
   /// synchronously inside on_store() (see file comment).
   bool async_analysis = false;
+  /// Deterministic-test variant of async_analysis: the channel is never
+  /// served by the background worker — handed-off bursts run only when the
+  /// test's scheduler calls pump_analysis(). Lets the crash fuzzer replay
+  /// the async analysis interleaving from a seed. Implies async_analysis.
+  bool manual_analysis = false;
   KneeConfig knee;
 };
 
@@ -78,6 +83,10 @@ class BurstSampler {
   /// Async mode: block until any in-flight analysis completes (shutdown
   /// drain — the selection is then available to poll_selection()).
   void drain();
+
+  /// Manual-analysis mode: run one handed-off burst analysis now, on this
+  /// thread (true when a job ran). No-op in the other modes.
+  bool pump_analysis();
 
   /// Async mode: true while a handed-off burst has not been analyzed yet.
   bool analysis_in_flight() const;

@@ -38,6 +38,7 @@ void ShadowPmem::load(PmAddr addr, void* out, std::size_t len) const {
 }
 
 void ShadowPmem::flush_line(LineAddr line) {
+  if (frozen_) return;  // power is off: the write-back never happens
   ++flushes_;
   const PmAddr base = line_base(line);
   if (base >= size_) return;  // flush of a line we never mapped
@@ -53,6 +54,7 @@ void ShadowPmem::flush_all() {
 }
 
 void ShadowPmem::crash() {
+  frozen_ = false;  // the restarted machine has power again
   std::memcpy(volatile_.get(), durable_.get(), size_);
   dirty_.clear();
 }

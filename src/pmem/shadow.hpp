@@ -42,7 +42,8 @@ class ShadowPmem {
     return v;
   }
 
-  /// Persist one cache line: copy it from volatile to durable.
+  /// Persist one cache line: copy it from volatile to durable. Dropped
+  /// (volatile image untouched, flush not counted) while frozen.
   void flush_line(LineAddr line);
 
   /// Persist the line containing byte offset `addr`.
@@ -53,7 +54,15 @@ class ShadowPmem {
 
   /// Power failure: all unflushed lines are lost; the volatile image is
   /// reloaded from the durable image (as a restarted process would see).
+  /// Power is back after the restart: a preceding freeze() is cleared.
   void crash();
+
+  /// Power is off from this instant: every subsequent flush is dropped —
+  /// nothing can reach the durable image until crash() restarts the
+  /// machine. Crash-injection rigs call this at their freeze point so no
+  /// write-back path, however indirect, can leak past the power cut.
+  void freeze() noexcept { frozen_ = true; }
+  bool frozen() const noexcept { return frozen_; }
 
   /// Read from the durable image (what recovery would see after a crash).
   void load_durable(PmAddr addr, void* out, std::size_t len) const;
@@ -86,6 +95,7 @@ class ShadowPmem {
   std::size_t size_;
   AlignedImage volatile_;
   AlignedImage durable_;
+  bool frozen_ = false;
   std::unordered_set<LineAddr> dirty_;
   std::uint64_t stores_ = 0;
   std::uint64_t flushes_ = 0;

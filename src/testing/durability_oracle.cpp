@@ -1,0 +1,76 @@
+#include "testing/durability_oracle.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace nvc::testing {
+
+DurabilityOracle::DurabilityOracle(const FuzzProgram& program) {
+  snapshots_.resize(program.contexts);
+  std::vector<std::vector<std::uint8_t>> image(
+      program.contexts, std::vector<std::uint8_t>(program.data_bytes(), 0));
+  std::vector<int> depth(program.contexts, 0);
+  for (std::size_t c = 0; c < program.contexts; ++c) {
+    snapshots_[c].push_back(image[c]);  // snapshot 0: pre-program zeros
+  }
+  for (const FuzzOp& op : program.ops) {
+    switch (op.kind) {
+      case FuzzOpKind::kFaseBegin:
+        ++depth[op.ctx];
+        break;
+      case FuzzOpKind::kFaseEnd:
+        NVC_REQUIRE(depth[op.ctx] > 0, "unbalanced fase_end");
+        if (--depth[op.ctx] == 0) {
+          // Outermost commit: everything stored since the previous commit
+          // becomes permanent, atomically.
+          snapshots_[op.ctx].push_back(image[op.ctx]);
+        }
+        break;
+      case FuzzOpKind::kPstore: {
+        NVC_REQUIRE(depth[op.ctx] > 0, "pstore outside a FASE");
+        const FuzzObject& obj = program.objects[op.object];
+        NVC_REQUIRE(op.offset + op.len <= obj.size, "store past object end");
+        const std::vector<std::uint8_t> bytes =
+            payload_bytes(op.value_seed, op.len);
+        std::copy(bytes.begin(), bytes.end(),
+                  image[op.ctx].begin() +
+                      static_cast<std::ptrdiff_t>(obj.offset + op.offset));
+        break;
+      }
+      case FuzzOpKind::kPersistBarrier:
+        // Flush scheduling only — a barrier mid-FASE creates no new
+        // recoverable state: the undo log still covers the open FASE, so a
+        // crash after the barrier rolls back to the last commit.
+        break;
+      case FuzzOpKind::kAlloc:
+      case FuzzOpKind::kFree:
+        // Addresses are never reused, so the image is unaffected.
+        break;
+    }
+  }
+  for (std::size_t c = 0; c < program.contexts; ++c) {
+    NVC_REQUIRE(depth[c] == 0, "program left a FASE open");
+  }
+}
+
+int DurabilityOracle::match(std::size_t ctx,
+                            const std::vector<std::uint8_t>& image) const {
+  const auto& snaps = snapshots_[ctx];
+  for (std::size_t i = snaps.size(); i-- > 0;) {
+    if (snaps[i] == image) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::uint8_t> DurabilityOracle::final_object_bytes(
+    const FuzzProgram& program, std::uint32_t object) const {
+  const FuzzObject& obj = program.objects[object];
+  const auto& image = final_committed(obj.ctx);
+  const auto first =
+      image.begin() + static_cast<std::ptrdiff_t>(obj.offset);
+  return std::vector<std::uint8_t>(first,
+                                   first + static_cast<std::ptrdiff_t>(obj.size));
+}
+
+}  // namespace nvc::testing

@@ -1,0 +1,61 @@
+// The durability oracle: every legally recoverable state of a FuzzProgram.
+//
+// The FASE contract (paper Section II-A, DESIGN.md §7) is all-or-nothing
+// per context: after a crash at ANY instant, recovery must leave each
+// context's data region exactly as it was after some committed outermost
+// FASE of that context — never a partial FASE, never a state that skips a
+// committed one. The oracle computes those states analytically, straight
+// from the op list, with no knowledge of caching policy, flush scheduling,
+// or log batching: snapshot i of a context is its region image after its
+// i-th outermost commit (snapshot 0 = the all-zero initial image).
+//
+// Because crash injection freezes the durable image at a single event
+// index and execution is deterministic (see tests/support/crash_rig), the
+// recoverable-state set at freeze index e is a *prefix* of the snapshot
+// list, monotone non-decreasing in e. The fuzzer asserts membership at
+// every freeze point and monotonicity of the matched index across the
+// sweep; match() returns the LAST equal snapshot so duplicate images
+// (empty or idempotent FASEs) can never fake a monotonicity violation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "testing/fuzz_program.hpp"
+
+namespace nvc::testing {
+
+class DurabilityOracle {
+ public:
+  explicit DurabilityOracle(const FuzzProgram& program);
+
+  std::size_t contexts() const noexcept { return snapshots_.size(); }
+
+  /// Committed images of one context, oldest first; [0] is all-zero.
+  const std::vector<std::vector<std::uint8_t>>& snapshots(
+      std::size_t ctx) const {
+    return snapshots_[ctx];
+  }
+
+  /// Index of the LAST snapshot of `ctx` equal to `image`, or -1 when the
+  /// image matches no committed state (an atomicity violation).
+  int match(std::size_t ctx, const std::vector<std::uint8_t>& image) const;
+
+  /// The context's image after its final commit (what an uninterrupted run
+  /// must leave durable).
+  const std::vector<std::uint8_t>& final_committed(std::size_t ctx) const {
+    return snapshots_[ctx].back();
+  }
+
+  /// Expected final bytes of one object (a slice of its owning context's
+  /// final committed image) — the per-object check used by the real-Runtime
+  /// differential test, where freed memory may be reused and only live
+  /// objects are comparable.
+  std::vector<std::uint8_t> final_object_bytes(const FuzzProgram& program,
+                                               std::uint32_t object) const;
+
+ private:
+  std::vector<std::vector<std::vector<std::uint8_t>>> snapshots_;
+};
+
+}  // namespace nvc::testing

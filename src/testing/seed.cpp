@@ -1,0 +1,30 @@
+#include "testing/seed.hpp"
+
+#include <sstream>
+
+#include "common/env.hpp"
+
+namespace nvc::testing {
+
+std::uint64_t seed_from_env(const char* env_var, std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      env_int(env_var, static_cast<std::int64_t>(fallback)));
+}
+
+std::string replay_hint(const char* env_var, std::uint64_t seed) {
+  std::ostringstream out;
+  out << "replay: " << env_var << "=" << seed;
+  return out.str();
+}
+
+std::string fuzz_replay_line(std::uint64_t program_seed,
+                             const std::string& mode_name,
+                             std::uint64_t freeze_event) {
+  std::ostringstream out;
+  out << "replay: NVC_FUZZ_SEED=" << program_seed << " NVC_FUZZ_MODE="
+      << mode_name << " NVC_FUZZ_FREEZE=" << freeze_event
+      << " ctest -R test_fuzz_crash --output-on-failure";
+  return out.str();
+}
+
+}  // namespace nvc::testing

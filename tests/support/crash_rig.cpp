@@ -1,0 +1,269 @@
+#include "support/crash_rig.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace nvc::testing {
+
+/// Freezeable sink: pointer-based lines are translated to shadow-offset
+/// lines by `shift` (0 for the data path, whose lines already are shadow
+/// offsets; the log writes through raw pointers into the shadow image).
+struct CrashRig::FreezeSink final : core::FlushSink {
+  FreezeSink(CrashRig* owner, LineAddr line_shift)
+      : rig(owner), shift(line_shift) {}
+  void flush_line(LineAddr line) override {
+    flushes.fetch_add(1, std::memory_order_relaxed);
+    // Atomically claim this flush's event index: in real-worker async mode
+    // the background worker and the application thread race for slots, and
+    // the power-failure cut must be a single consistent point.
+    const std::uint64_t e = rig->claim_event();
+    if (!rig->powered(e)) return;  // power is off: the line never persists
+    std::lock_guard<std::mutex> lock(rig->shadow_mutex_);
+    rig->shadow_.flush_line(line - shift);
+  }
+  void drain() override { fences.fetch_add(1, std::memory_order_relaxed); }
+  CrashRig* rig;
+  LineAddr shift;
+  std::atomic<std::uint64_t> flushes{0};
+  std::atomic<std::uint64_t> fences{0};
+};
+
+/// Worker-side sink for the async data path: the channel owns this thin
+/// forwarder while the FreezeSink (and its counters) stay with the rig.
+struct CrashRig::ForwardSink final : core::FlushSink {
+  explicit ForwardSink(core::FlushSink* t) : target(t) {}
+  void flush_line(LineAddr line) override { target->flush_line(line); }
+  void drain() override {}
+  core::FlushSink* target;
+};
+
+/// Recovery-time sink: never frozen (the machine is back up).
+struct CrashRig::LiveSink final : core::FlushSink {
+  LiveSink(pmem::ShadowPmem* target, LineAddr line_shift)
+      : shadow(target), shift(line_shift) {}
+  void flush_line(LineAddr line) override { shadow->flush_line(line - shift); }
+  void drain() override {}
+  pmem::ShadowPmem* shadow;
+  LineAddr shift;
+};
+
+/// One logical runtime thread: private policy, log segment, and (in async
+/// mode) flush ring, all against the rig's shared shadow image and event
+/// clock. Async members sit between the sinks they use and `ordered`
+/// (which points at async_sink): destruction drains the ring while the
+/// shadow and the FreezeSink are still alive.
+struct CrashRig::Context {
+  Context(CrashRig* rig, LineAddr log_shift)
+      : data_sink(rig, /*shift=*/0), log_sink(rig, log_shift) {}
+
+  FreezeSink data_sink;
+  FreezeSink log_sink;
+  std::unique_ptr<core::Policy> policy;
+  core::SoftCachePolicy* soft = nullptr;  // set in online_policy mode
+  std::unique_ptr<runtime::UndoLog> log;
+  int fase_depth = 0;
+  std::shared_ptr<core::FlushChannel> flush_channel;
+  std::unique_ptr<core::AsyncFlushSink> async_sink;
+  std::unique_ptr<core::LogOrderedSink> ordered;
+};
+
+CrashRig::CrashRig(const CrashRigConfig& config)
+    : config_(config),
+      shadow_(config.contexts *
+              (config.data_lines * kCacheLineSize + config.log_bytes)),
+      log_shift_(line_of(reinterpret_cast<PmAddr>(shadow_.volatile_base()))) {
+  NVC_REQUIRE(config.contexts >= 1);
+  NVC_REQUIRE(config.log_bytes % kCacheLineSize == 0);
+  NVC_REQUIRE(!config.async_analysis || config.online_policy,
+              "async analysis is a mode of the online policy");
+  for (std::size_t i = 0; i < config_.contexts; ++i) {
+    auto c = std::make_unique<Context>(this, log_shift_);
+    core::PolicyConfig pc;
+    pc.cache_size = config_.cache_size;
+    if (config_.online_policy) {
+      pc.sampler.burst_length = config_.burst_length;
+      pc.sampler.hibernation_length = config_.hibernation_length;
+      // Deterministic async: the analysis channel is never served by the
+      // background worker; bursts run only under pump_analysis().
+      pc.sampler.manual_analysis = config_.async_analysis;
+      c->policy = core::make_policy(core::PolicyKind::kSoftCache, pc);
+      c->soft = static_cast<core::SoftCachePolicy*>(c->policy.get());
+    } else {
+      c->policy = core::make_policy(core::PolicyKind::kSoftCacheOffline, pc);
+    }
+    c->log = std::make_unique<runtime::UndoLog>(
+        shadow_.volatile_base() + log_offset(i), config_.log_bytes,
+        &c->log_sink, config_.mode);
+    c->log->format();  // pre-script: not an event, cannot be frozen away
+    if (config_.async_flush) {
+      // Flush-behind data path: a tiny ring (overflow falls back to the
+      // synchronous FreezeSink) drained by the background worker — or, in
+      // manual mode, only by pump_flush() and the helping drain.
+      auto forward = std::make_unique<ForwardSink>(&c->data_sink);
+      c->flush_channel =
+          config_.manual_pipeline
+              ? core::FlushWorker::shared().open_manual_channel(
+                    std::move(forward), config_.flush_ring)
+              : core::FlushWorker::shared().open_channel(std::move(forward),
+                                                         config_.flush_ring);
+      c->async_sink = std::make_unique<core::AsyncFlushSink>(c->flush_channel,
+                                                             &c->data_sink);
+    }
+    c->ordered = std::make_unique<core::LogOrderedSink>(
+        c->async_sink ? static_cast<core::FlushSink*>(c->async_sink.get())
+                      : &c->data_sink,
+        c->log.get());
+    contexts_.push_back(std::move(c));
+  }
+  counting_ = true;
+}
+
+CrashRig::~CrashRig() = default;
+
+void CrashRig::fase_begin(std::size_t ctx) {
+  Context& c = *contexts_[ctx];
+  if (c.fase_depth++ == 0) c.policy->on_fase_begin(*c.ordered);
+}
+
+void CrashRig::fase_end(std::size_t ctx) {
+  Context& c = *contexts_[ctx];
+  NVC_REQUIRE(c.fase_depth > 0, "fase_end without matching fase_begin");
+  if (--c.fase_depth == 0) {
+    // Mirrors Runtime::fase_end: the policy flushes its buffered lines
+    // through the ordering decorator (log sync precedes each data flush),
+    // then the log commits — the FASE's atomic commit point.
+    c.policy->on_fase_end(*c.ordered);
+    c.log->commit();
+  }
+}
+
+void CrashRig::pstore(std::size_t ctx, PmAddr addr, const void* bytes,
+                      std::size_t len) {
+  NVC_REQUIRE(len > 0);
+  NVC_REQUIRE(addr + len <= data_bytes(), "pstore past region end");
+  Context& c = *contexts_[ctx];
+  NVC_REQUIRE(c.fase_depth > 0, "rig pstores must be inside a FASE");
+  const PmAddr base = data_offset(ctx) + addr;
+  // Log the old bytes before overwriting, in kMaxPayload pieces (mirrors
+  // Runtime::pstore; the token is the shadow offset, so recovery stores
+  // the payload straight back).
+  std::vector<std::uint8_t> old(len);
+  {
+    std::lock_guard<std::mutex> lock(shadow_mutex_);
+    shadow_.load(base, old.data(), len);
+  }
+  std::size_t done = 0;
+  while (done < len) {
+    const auto piece = static_cast<std::uint32_t>(
+        std::min<std::size_t>(len - done, runtime::UndoLog::kMaxPayload));
+    c.log->record(base + done, old.data() + done, piece);
+    done += piece;
+  }
+  const LineAddr first = line_of(base);
+  const LineAddr last = line_of(base + len - 1);
+  if (c.async_sink) {
+    // Write-after-enqueue hazard (DESIGN.md §8, mirrors Runtime::pstore):
+    // a touched line may still be queued, so its eventual write-back can
+    // carry this store's bytes — the records covering them must be durable
+    // before the data write below.
+    for (LineAddr line = first; line <= last; ++line) {
+      if (c.async_sink->maybe_inflight(line)) {
+        c.log->sync();
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(shadow_mutex_);
+    shadow_.store(base, bytes, len);
+  }
+  claim_event();
+  for (LineAddr line = first; line <= last; ++line) {
+    c.policy->on_store(line, *c.ordered);
+  }
+}
+
+void CrashRig::persist_barrier(std::size_t ctx) {
+  Context& c = *contexts_[ctx];
+  c.policy->flush_buffered(*c.ordered);
+}
+
+bool CrashRig::pump_flush(std::size_t ctx) {
+  Context& c = *contexts_[ctx];
+  return c.flush_channel != nullptr && c.flush_channel->pump_one();
+}
+
+bool CrashRig::pump_analysis(std::size_t ctx) {
+  Context& c = *contexts_[ctx];
+  return c.soft != nullptr && c.soft->pump_analysis();
+}
+
+std::uint64_t CrashRig::claim_event() {
+  if (!counting_) return 0;
+  const std::uint64_t e = events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!powered(e) && deterministic() && !shadow_.frozen()) {
+    // Deterministic runs execute entirely on this thread, so the first
+    // post-freeze event is a single well-defined instant: cut the shadow
+    // image's power too, closing every conceivable write-back path.
+    shadow_.freeze();
+  }
+  return e;
+}
+
+void CrashRig::recover_all() {
+  if (recovered_) return;
+  recovered_ = true;
+  // Quiesce the pipeline first: write-backs of lines that were still
+  // queued at the freeze point claim post-freeze event indices and drop —
+  // power failed with those writes in flight, they never persist.
+  for (auto& c : contexts_) {
+    if (c->flush_channel) c->flush_channel->wait_drained();
+  }
+  shadow_.crash();  // everything unflushed is gone
+  LiveSink rsink(&shadow_, log_shift_);
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    runtime::UndoLog log(shadow_.volatile_base() + log_offset(i),
+                         config_.log_bytes, &rsink, config_.mode);
+    NVC_REQUIRE(log.valid(), "log segment lost its format");
+    if (log.needs_recovery()) {
+      log.rollback(
+          [&](std::uint64_t token, const void* payload, std::uint32_t len) {
+            shadow_.store(token, payload, len);
+          });
+    }
+  }
+  shadow_.flush_all();
+}
+
+std::vector<std::uint8_t> CrashRig::recovered_data(std::size_t ctx) {
+  recover_all();
+  std::vector<std::uint8_t> out(data_bytes());
+  shadow_.load_durable(data_offset(ctx), out.data(), out.size());
+  return out;
+}
+
+std::vector<std::uint8_t> CrashRig::durable_data(std::size_t ctx) const {
+  std::vector<std::uint8_t> out(data_bytes());
+  shadow_.load_durable(data_offset(ctx), out.data(), out.size());
+  return out;
+}
+
+std::uint64_t CrashRig::data_flushes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : contexts_) {
+    total += c->data_sink.flushes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t CrashRig::log_fences() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : contexts_) {
+    total += c->log_sink.fences.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace nvc::testing

@@ -16,9 +16,13 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/types.hpp"
+#include "testing/seed.hpp"
 
 namespace nvc {
 namespace {
+
+using nvc::testing::replay_hint;
+using nvc::testing::seed_from_env;
 
 TEST(Types, LineConversionRoundTrips) {
   EXPECT_EQ(line_of(0), 0u);
@@ -303,7 +307,9 @@ TEST(FlatHashMap, RandomizedMatchesUnorderedMap) {
   // range so probe chains constantly form and break.
   FlatHashMap<std::uint64_t, std::uint64_t> map;
   std::unordered_map<std::uint64_t, std::uint64_t> ref;
-  Rng rng(123);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 123);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   for (int op = 0; op < 30000; ++op) {
     const std::uint64_t key = rng.below(512);
     switch (rng.below(3)) {
@@ -328,6 +334,60 @@ TEST(FlatHashMap, RandomizedMatchesUnorderedMap) {
       }
     }
     ASSERT_EQ(map.size(), ref.size());
+  }
+}
+
+TEST(FlatHashMap, RandomizedFullStateParityUnderRehash) {
+  // Stronger property sweep: on top of insert/erase/lookup, randomly force
+  // growth rehashes (reserve), clear both maps, and shift the hot key range
+  // between phases so probe chains are rebuilt from scratch mid-run. After
+  // every phase the ENTIRE state must match the reference — checked in both
+  // directions via for_each (no extra, no missing, no stale values).
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 2468);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int phase = 0; phase < 40; ++phase) {
+    // Each phase works a different 256-key window; windows overlap so some
+    // erases hit keys inserted many phases ago.
+    const std::uint64_t base = rng.below(16) * 128;
+    for (int op = 0; op < 600; ++op) {
+      const std::uint64_t key = base + rng.below(256);
+      if (rng.chance(0.55)) {
+        const std::uint64_t value = rng();
+        const auto [slot, inserted] = map.try_emplace(key, value);
+        const auto [it, ref_inserted] = ref.try_emplace(key, value);
+        ASSERT_EQ(inserted, ref_inserted) << "key " << key;
+        ASSERT_EQ(*slot, it->second) << "key " << key;
+      } else {
+        ASSERT_EQ(map.erase(key), ref.erase(key) == 1) << "key " << key;
+      }
+    }
+    if (rng.chance(0.2)) {
+      // Grow well past the current population: every surviving entry must
+      // land reachable in the new slot array.
+      map.reserve(map.size() * 2 + 64);
+    }
+    if (rng.chance(0.05)) {
+      map.clear();
+      ref.clear();
+    }
+    ASSERT_EQ(map.size(), ref.size()) << "phase " << phase;
+    std::size_t visited = 0;
+    map.for_each([&](std::uint64_t key, std::uint64_t value) {
+      ++visited;
+      const auto it = ref.find(key);
+      ASSERT_NE(it, ref.end()) << "for_each yielded unknown key " << key;
+      ASSERT_EQ(value, it->second) << "key " << key;
+    });
+    ASSERT_EQ(visited, ref.size()) << "phase " << phase;
+    for (const auto& [key, value] : ref) {
+      const auto* found = map.find(key);
+      ASSERT_NE(found, nullptr) << "key " << key << " lost in phase "
+                                << phase;
+      ASSERT_EQ(*found, value) << "key " << key;
+    }
   }
 }
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Exit-code contract of the bench regression gate (bench/compare.py).
+
+The gate is what CI keys off, so its exit codes are load-bearing API:
+0 = pass, 1 = regression beyond tolerance, 2 = could not run (missing or
+malformed input). Golden fixtures in tests/data/compare/ pin each path,
+including the two anti-flake rules — the >10% relative tolerance and the
+20 ns absolute floor — and the aggregate-row skip.
+
+Run directly (python3 tests/test_compare_gate.py) or via ctest as
+`compare_gate`.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(TESTS_DIR)
+COMPARE = os.path.join(REPO, "bench", "compare.py")
+DATA = os.path.join(TESTS_DIR, "data", "compare")
+
+
+def run_gate(current, baseline, env=None):
+    """Run compare.py on fixture names; returns (exit_code, stdout)."""
+    merged = dict(os.environ)
+    merged.pop("NVC_BENCH_TOLERANCE", None)
+    merged.pop("NVC_BENCH_MIN_DELTA_NS", None)
+    merged.update(env or {})
+    proc = subprocess.run(
+        [sys.executable, COMPARE,
+         os.path.join(DATA, current), os.path.join(DATA, baseline)],
+        capture_output=True, text=True, env=merged, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class CompareGateTest(unittest.TestCase):
+    def test_pass_run_exits_zero(self):
+        code, out = run_gate("current_pass.json", "baseline.json")
+        self.assertEqual(code, 0, out)
+        self.assertIn("no regression", out)
+        # 8 -> 14 ns is a 75% ratio but only a 6 ns delta: the absolute
+        # floor keeps sub-noise micros out of the gate.
+        self.assertNotIn("REGRESSED", out)
+        # Families present on only one side are reported, never failures.
+        self.assertIn("MISSING", out)
+        self.assertIn("NEW", out)
+
+    def test_aggregate_rows_are_skipped(self):
+        # current_pass.json carries a mean row at 400 ns for a 120 ns
+        # baseline; if aggregates leaked into the comparison this would
+        # regress.
+        code, out = run_gate("current_pass.json", "baseline.json")
+        self.assertEqual(code, 0, out)
+
+    def test_regression_beyond_tolerance_exits_one(self):
+        code, out = run_gate("current_regressed.json", "baseline.json")
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSED", out)
+        self.assertIn("BM_PstoreStrict/64", out)
+
+    def test_tolerance_env_override_widens_the_gate(self):
+        # The same regressed run passes at 50% tolerance (1.42x < 1.5x).
+        code, out = run_gate("current_regressed.json", "baseline.json",
+                             env={"NVC_BENCH_TOLERANCE": "0.5"})
+        self.assertEqual(code, 0, out)
+
+    def test_missing_baseline_exits_two(self):
+        code, out = run_gate("current_pass.json", "no_such_baseline.json")
+        self.assertEqual(code, 2, out)
+        self.assertIn("cannot load results", out)
+
+    def test_missing_current_exits_two(self):
+        code, out = run_gate("no_such_current.json", "baseline.json")
+        self.assertEqual(code, 2, out)
+
+    def test_malformed_input_exits_two(self):
+        code, out = run_gate("malformed.json", "baseline.json")
+        self.assertEqual(code, 2, out)
+        self.assertIn("malformed", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,10 +1,10 @@
 // Crash matrix for the undo-log durability protocols (DESIGN.md §7).
 //
-// A miniature FASE engine — SC-offline policy + LogOrderedSink + UndoLog —
-// runs against the ShadowPmem crash model with both the data region and the
-// log segment living inside the shadow image. The durable image is frozen
-// at EVERY event index in the run (each pstore and each attempted line
-// flush, on either the data or the log path), which sweeps all the
+// The freeze/restart rig lives in tests/support/crash_rig.{hpp,cpp} (it is
+// shared with the crash-state fuzzer, test_fuzz_crash.cpp); this suite
+// drives it through a fixed script and sweeps the durable image's freeze
+// point over EVERY event index in the run (each pstore and each attempted
+// line flush, on either the data or the log path). That hits all the
 // interesting boundaries: before a log sync, after the sync but before the
 // data flush it ordered, mid data-flush burst, after the flushes but before
 // commit, and after commit. For each freeze point the test restarts from
@@ -25,217 +25,41 @@
 #include <gtest/gtest.h>
 
 #include <array>
-#include <atomic>
 #include <cstring>
-#include <memory>
-#include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
-#include "core/flush_pipeline.hpp"
-#include "core/log_ordered_sink.hpp"
-#include "core/policy.hpp"
-#include "pmem/shadow.hpp"
-#include "runtime/undo_log.hpp"
+#include "support/crash_rig.hpp"
 
 namespace nvc::runtime {
 namespace {
 
+using nvc::testing::CrashRig;
+using nvc::testing::CrashRigConfig;
+
 constexpr std::size_t kDataLines = 8;
 constexpr std::size_t kDataBytes = kDataLines * kCacheLineSize;
 constexpr std::size_t kCells = kDataBytes / sizeof(std::uint64_t);
-constexpr std::size_t kLogOff = kDataBytes;  // 64-aligned: right after data
-constexpr std::size_t kLogBytes = 32u << 10;
-constexpr std::size_t kShadowBytes = kLogOff + kLogBytes;
 constexpr int kFases = 8;
 constexpr int kStoresPerFase = 6;
 
 using DataImage = std::array<std::uint64_t, kCells>;
 
-/// One FASE engine instance over a private shadow NVRAM. Layout:
-/// [0, kDataBytes) data cells, [kLogOff, kLogOff+kLogBytes) log segment.
-class CrashRig {
- public:
-  explicit CrashRig(LogSyncMode mode, bool async = false)
-      : mode_(mode),
-        shadow_(kShadowBytes),
-        log_shift_(line_of(reinterpret_cast<PmAddr>(shadow_.volatile_base()))),
-        data_sink_(this, /*shift=*/0),
-        log_sink_(this, log_shift_) {
-    core::PolicyConfig pc;
-    pc.cache_size = 2;  // tiny: forces mid-FASE evictions => many epochs
-    policy_ = core::make_policy(core::PolicyKind::kSoftCacheOffline, pc);
-    log_ = std::make_unique<UndoLog>(shadow_.volatile_base() + kLogOff,
-                                     kLogBytes, &log_sink_, mode_);
-    log_->format();  // pre-script: not an event, cannot be frozen away
-    if (async) {
-      // Flush-behind data path: a tiny ring (overflow falls back to the
-      // synchronous FreezeSink) drained by the shared background worker.
-      flush_channel_ = core::FlushWorker::shared().open_channel(
-          std::make_unique<ForwardSink>(&data_sink_), /*capacity=*/8);
-      async_sink_ = std::make_unique<core::AsyncFlushSink>(flush_channel_,
-                                                           &data_sink_);
-    }
-    ordered_ = std::make_unique<core::LogOrderedSink>(
-        async_sink_ ? static_cast<core::FlushSink*>(async_sink_.get())
-                    : &data_sink_,
-        log_.get());
-    counting_ = true;
-  }
+CrashRigConfig matrix_config(LogSyncMode mode, bool async) {
+  CrashRigConfig config;  // defaults match this suite's historical layout
+  config.mode = mode;
+  config.async_flush = async;
+  config.data_lines = kDataLines;
+  return config;
+}
 
-  /// Power fails once `events()` reaches `event`: later flushes are lost.
-  void freeze_at(std::uint64_t event) { freeze_event_ = event; }
-  std::uint64_t events() const noexcept {
-    return events_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t data_flushes() const noexcept {
-    return data_sink_.flushes.load(std::memory_order_relaxed);
-  }
-  std::uint64_t log_fences() const noexcept {
-    return log_sink_.fences.load(std::memory_order_relaxed);
-  }
-
-  void fase_begin() { policy_->on_fase_begin(*ordered_); }
-
-  void fase_end() {
-    // Mirrors Runtime::fase_end: the policy flushes its buffered lines
-    // through the ordering decorator (log sync precedes each data flush),
-    // then the log commits — the FASE's atomic commit point.
-    policy_->on_fase_end(*ordered_);
-    log_->commit();
-  }
-
-  void pstore(std::size_t cell, std::uint64_t value) {
-    const PmAddr addr = cell * sizeof(std::uint64_t);
-    std::uint64_t old;
-    {
-      std::lock_guard<std::mutex> lock(shadow_mutex_);
-      old = shadow_.load_value<std::uint64_t>(addr);
-    }
-    log_->record(addr, &old, sizeof old);
-    if (async_sink_ && async_sink_->maybe_inflight(line_of(addr))) {
-      // Write-after-enqueue hazard (DESIGN.md §8, mirrors Runtime::pstore):
-      // this line may still be queued, so its eventual write-back can carry
-      // this store's bytes — the record covering them must be durable
-      // before the data write below.
-      log_->sync();
-    }
-    {
-      std::lock_guard<std::mutex> lock(shadow_mutex_);
-      shadow_.store_value(addr, value);
-    }
-    claim_event();
-    policy_->on_store(line_of(addr), *ordered_);
-  }
-
-  /// Restart after the (frozen) power failure: reload from the durable
-  /// image, run log recovery, persist the rolled-back bytes, and return
-  /// the durable data region a restarted process would see.
-  DataImage recovered_data() {
-    // Quiesce the pipeline first: write-backs of lines that were still
-    // queued at the freeze point claim post-freeze event indices and drop
-    // — power failed with those writes in flight, they never persist.
-    if (flush_channel_) flush_channel_->wait_drained();
-    shadow_.crash();  // everything unflushed is gone
-    LiveSink rsink(&shadow_, log_shift_);
-    UndoLog log(shadow_.volatile_base() + kLogOff, kLogBytes, &rsink, mode_);
-    EXPECT_TRUE(log.valid());  // format() preceded event counting
-    if (log.needs_recovery()) {
-      log.rollback(
-          [&](std::uint64_t token, const void* bytes, std::uint32_t len) {
-            shadow_.store(token, bytes, len);
-          });
-    }
-    shadow_.flush_all();
-    DataImage out;
-    shadow_.load_durable(0, out.data(), sizeof out);
-    return out;
-  }
-
-  DataImage durable_data() const {
-    DataImage out;
-    shadow_.load_durable(0, out.data(), sizeof out);
-    return out;
-  }
-
- private:
-  /// Freezeable sink: pointer-based lines are translated to shadow-offset
-  /// lines by `shift` (0 for the data path, whose lines already are shadow
-  /// offsets; the log writes through raw pointers into the shadow image).
-  struct FreezeSink final : core::FlushSink {
-    FreezeSink(CrashRig* owner, LineAddr line_shift)
-        : rig(owner), shift(line_shift) {}
-    void flush_line(LineAddr line) override {
-      flushes.fetch_add(1, std::memory_order_relaxed);
-      // Atomically claim this flush's event index: in async mode the
-      // background worker and the application thread race for slots, and
-      // the power-failure cut must be a single consistent point.
-      const std::uint64_t e = rig->claim_event();
-      if (!rig->powered(e)) return;  // power is off: the line never persists
-      std::lock_guard<std::mutex> lock(rig->shadow_mutex_);
-      rig->shadow_.flush_line(line - shift);
-    }
-    void drain() override { fences.fetch_add(1, std::memory_order_relaxed); }
-    CrashRig* rig;
-    LineAddr shift;
-    std::atomic<std::uint64_t> flushes{0};
-    std::atomic<std::uint64_t> fences{0};
-  };
-
-  /// Worker-side sink for the async data path: the channel owns this thin
-  /// forwarder while the FreezeSink (and its counters) stay with the rig.
-  struct ForwardSink final : core::FlushSink {
-    explicit ForwardSink(core::FlushSink* t) : target(t) {}
-    void flush_line(LineAddr line) override { target->flush_line(line); }
-    void drain() override {}
-    core::FlushSink* target;
-  };
-
-  /// Recovery-time sink: never frozen (the machine is back up).
-  struct LiveSink final : core::FlushSink {
-    LiveSink(pmem::ShadowPmem* target, LineAddr line_shift)
-        : shadow(target), shift(line_shift) {}
-    void flush_line(LineAddr line) override {
-      shadow->flush_line(line - shift);
-    }
-    void drain() override {}
-    pmem::ShadowPmem* shadow;
-    LineAddr shift;
-  };
-
-  /// Claim the next event index (0 during pre-script setup, which cannot
-  /// be frozen away).
-  std::uint64_t claim_event() {
-    if (!counting_) return 0;
-    return events_.fetch_add(1, std::memory_order_relaxed) + 1;
-  }
-  bool powered(std::uint64_t event) const noexcept {
-    return event <= freeze_event_;
-  }
-
-  LogSyncMode mode_;
-  pmem::ShadowPmem shadow_;
-  LineAddr log_shift_;
-  bool counting_ = false;
-  std::atomic<std::uint64_t> events_{0};
-  std::uint64_t freeze_event_ = ~std::uint64_t{0};
-  /// Serializes shadow-image access: the worker's write-back of a queued
-  /// line may race the application thread's store to the same line (on
-  /// hardware the coherent cache arbitrates; the shadow model needs a
-  /// lock). Ordering between the two stays nondeterministic — that is the
-  /// interleaving the matrix sweeps.
-  std::mutex shadow_mutex_;
-  FreezeSink data_sink_;
-  FreezeSink log_sink_;
-  std::unique_ptr<core::Policy> policy_;
-  std::unique_ptr<UndoLog> log_;
-  /// Async members sit between the sinks they use and ordered_ (which
-  /// points at async_sink_): destruction drains the ring while the shadow
-  /// and the FreezeSink are still alive.
-  std::shared_ptr<core::FlushChannel> flush_channel_;
-  std::unique_ptr<core::AsyncFlushSink> async_sink_;
-  std::unique_ptr<core::LogOrderedSink> ordered_;
-};
+DataImage to_image(const std::vector<std::uint8_t>& bytes) {
+  DataImage out;
+  EXPECT_EQ(bytes.size(), sizeof out);
+  std::memcpy(out.data(), bytes.data(), sizeof out);
+  return out;
+}
 
 /// Deterministic script; returns the expected data image after each
 /// committed FASE (index 0 = the initial all-zero state).
@@ -249,7 +73,7 @@ std::vector<DataImage> run_script(CrashRig& rig) {
     for (int s = 0; s < kStoresPerFase; ++s) {
       const std::size_t cell = rng.below(kCells);
       const std::uint64_t value = rng();
-      rig.pstore(cell, value);
+      rig.pstore_u64(0, cell, value);
       state[cell] = value;
     }
     rig.fase_end();
@@ -277,7 +101,7 @@ TEST_P(CrashMatrix, EveryFreezePointRecoversToACommittedFase) {
   const auto [mode, async] = GetParam();
 
   // Dry run: learn the event count and the expected per-FASE snapshots.
-  CrashRig dry(mode, async);
+  CrashRig dry(matrix_config(mode, async));
   const auto snapshots = run_script(dry);
   const std::uint64_t total = dry.events();
   ASSERT_GT(total, 100u) << "script too small to exercise boundaries";
@@ -290,10 +114,10 @@ TEST_P(CrashMatrix, EveryFreezePointRecoversToACommittedFase) {
 
   int max_recovered = -1;
   for (std::uint64_t e = 0; e <= sweep_end; ++e) {
-    CrashRig rig(mode, async);
+    CrashRig rig(matrix_config(mode, async));
     rig.freeze_at(e);
     (void)run_script(rig);
-    const DataImage image = rig.recovered_data();
+    const DataImage image = to_image(rig.recovered_data());
     const int idx = snapshot_index(snapshots, image);
     ASSERT_GE(idx, 0) << to_string(mode) << (async ? "/async" : "/sync")
                       << ": freeze at event " << e << "/" << total
@@ -323,16 +147,16 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(CrashEquivalence, StrictAndBatchedConvergeWithFewerLogFences) {
-  CrashRig strict(LogSyncMode::kStrict);
+  CrashRig strict(matrix_config(LogSyncMode::kStrict, false));
   const auto strict_snaps = run_script(strict);
-  CrashRig batched(LogSyncMode::kBatched);
+  CrashRig batched(matrix_config(LogSyncMode::kBatched, false));
   const auto batched_snaps = run_script(batched);
 
   // Identical durable data images (no crash) and identical data-line flush
   // traffic — batching the log must not change what the policy persists.
   ASSERT_EQ(strict_snaps, batched_snaps);
   EXPECT_EQ(strict.durable_data(), batched.durable_data());
-  EXPECT_EQ(strict.durable_data(), strict_snaps.back());
+  EXPECT_EQ(to_image(strict.durable_data()), strict_snaps.back());
   EXPECT_EQ(strict.data_flushes(), batched.data_flushes());
 
   // The point of the exercise: O(records) => O(epochs) log fences.
@@ -348,9 +172,9 @@ TEST(CrashEquivalence, AsyncDataTrafficIsIdenticalToSync) {
   // engine's durable image, per-FASE snapshots, and data-flush count.
   for (const LogSyncMode mode :
        {LogSyncMode::kStrict, LogSyncMode::kBatched}) {
-    CrashRig sync_rig(mode, /*async=*/false);
+    CrashRig sync_rig(matrix_config(mode, /*async=*/false));
     const auto sync_snaps = run_script(sync_rig);
-    CrashRig async_rig(mode, /*async=*/true);
+    CrashRig async_rig(matrix_config(mode, /*async=*/true));
     const auto async_snaps = run_script(async_rig);
     ASSERT_EQ(sync_snaps, async_snaps) << to_string(mode);
     EXPECT_EQ(sync_rig.durable_data(), async_rig.durable_data())
@@ -369,13 +193,13 @@ TEST(CrashEquivalence, BatchedRecoversIdenticallyToStrictAtSharedBoundaries) {
     int i = 0;
     for (const LogSyncMode mode :
          {LogSyncMode::kStrict, LogSyncMode::kBatched}) {
-      CrashRig dry(mode);
+      CrashRig dry(matrix_config(mode, false));
       const auto snapshots = run_script(dry);
-      CrashRig rig(mode);
+      CrashRig rig(matrix_config(mode, false));
       rig.freeze_at(static_cast<std::uint64_t>(
           fraction * static_cast<double>(dry.events())));
       (void)run_script(rig);
-      images[i] = rig.recovered_data();
+      images[i] = to_image(rig.recovered_data());
       ASSERT_GE(snapshot_index(snapshots, images[i]), 0)
           << to_string(mode) << " at fraction " << fraction;
       ++i;

@@ -1,0 +1,455 @@
+// Randomized crash-state fuzzer with a cross-mode durability oracle
+// (DESIGN.md §9).
+//
+// Seeded random FASE programs (src/testing/fuzz_program.hpp) run on the
+// shared freeze/restart rig (tests/support/crash_rig.hpp) under every
+// combination of the three durability mode axes —
+//
+//     log protocol      strict | batched     (LogSyncMode)
+//     data write-backs  sync   | flush-behind pipeline
+//     burst analysis    sync   | async (handed-off)
+//
+// — with the durable image frozen at randomized event indices. For every
+// crash point, the DurabilityOracle gives the only legal outcomes: each
+// context must recover to the image after SOME committed outermost FASE of
+// that context, and — because the whole run is deterministic (manual
+// channels + the seeded virtual scheduler stand in for the background
+// workers) — the recovered commit index must be monotone in the freeze
+// index. EVERY failure message carries a one-line replay command
+// (NVC_FUZZ_SEED + NVC_FUZZ_MODE + NVC_FUZZ_FREEZE) that reproduces the
+// exact program, interleaving, and crash point.
+//
+// Knobs (all optional):
+//   NVC_FUZZ_SEED=N    run exactly one program, generated from seed N
+//   NVC_FUZZ_ITERS=N   programs per mode (default 8; nightly runs raise it)
+//   NVC_FUZZ_MODE=S    only the named mode combo, e.g. batched-asyncflush-syncanalysis
+//   NVC_FUZZ_FREEZE=N  only the named freeze event (with SEED: one exact case)
+//
+// Two differential companions ride along: the analyze/MRC/knee pipeline is
+// checked against its brute-force references on random traces, and the
+// generated programs are replayed on the REAL Runtime (real threads, real
+// background workers, pm_alloc/pm_free) with every live object's final
+// bytes checked against the oracle.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "core/analyzer.hpp"
+#include "pmem/pmem_region.hpp"
+#include "runtime/runtime.hpp"
+#include "support/crash_rig.hpp"
+#include "testing/durability_oracle.hpp"
+#include "testing/fuzz_program.hpp"
+#include "testing/seed.hpp"
+#include "testing/virtual_scheduler.hpp"
+
+namespace nvc::testing {
+namespace {
+
+constexpr std::uint64_t kDefaultBaseSeed = 20260806;
+
+/// Per-iteration program seed: derived from the base by splitmix64 so
+/// consecutive iterations explore unrelated programs; masked to int64 range
+/// so the printed replay value round-trips through env_int().
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t iter) {
+  std::uint64_t sm = base + iter;
+  return splitmix64(sm) & 0x7fffffffffffffffULL;
+}
+
+/// Effective (seed, iteration-count) honoring the replay knobs: an explicit
+/// NVC_FUZZ_SEED pins one exact program.
+struct SeedPlan {
+  std::uint64_t override_seed;
+  bool pinned;
+  std::uint64_t iters;
+
+  std::uint64_t seed(std::uint64_t iter) const {
+    return pinned ? override_seed : derive_seed(kDefaultBaseSeed, iter);
+  }
+};
+
+SeedPlan seed_plan(std::uint64_t default_iters) {
+  const std::int64_t env_seed = env_int("NVC_FUZZ_SEED", -1);
+  SeedPlan plan;
+  plan.pinned = env_seed >= 0;
+  plan.override_seed = plan.pinned ? static_cast<std::uint64_t>(env_seed) : 0;
+  plan.iters =
+      plan.pinned
+          ? 1
+          : static_cast<std::uint64_t>(env_int(
+                "NVC_FUZZ_ITERS", static_cast<std::int64_t>(default_iters)));
+  return plan;
+}
+
+// --------------------------------------------------------------------------
+// The 2x2x2 mode matrix.
+// --------------------------------------------------------------------------
+
+struct FuzzMode {
+  runtime::LogSyncMode log;
+  bool async_flush;
+  bool async_analysis;
+};
+
+std::string mode_name(const FuzzMode& mode) {
+  return std::string(runtime::to_string(mode.log)) + "-" +
+         (mode.async_flush ? "asyncflush" : "syncflush") + "-" +
+         (mode.async_analysis ? "asyncanalysis" : "syncanalysis");
+}
+
+const FuzzMode kAllModes[] = {
+    {runtime::LogSyncMode::kStrict, false, false},
+    {runtime::LogSyncMode::kStrict, false, true},
+    {runtime::LogSyncMode::kStrict, true, false},
+    {runtime::LogSyncMode::kStrict, true, true},
+    {runtime::LogSyncMode::kBatched, false, false},
+    {runtime::LogSyncMode::kBatched, false, true},
+    {runtime::LogSyncMode::kBatched, true, false},
+    {runtime::LogSyncMode::kBatched, true, true},
+};
+
+CrashRigConfig fuzz_rig_config(const FuzzProgram& program,
+                               const FuzzMode& mode) {
+  CrashRigConfig config;
+  config.mode = mode.log;
+  config.async_flush = mode.async_flush;
+  // Deterministic everywhere: the flush ring is a manual channel (pumped
+  // only by the virtual scheduler below) and async analysis uses a manual
+  // analysis channel — no OS thread other than this one ever runs.
+  config.manual_pipeline = true;
+  config.online_policy = true;  // the analysis axis needs a sampling policy
+  config.async_analysis = mode.async_analysis;
+  config.contexts = program.contexts;
+  config.data_lines = program.data_lines;
+  return config;
+}
+
+/// Interpret the program on the rig. After every op the seeded virtual
+/// scheduler decides how much "background" work happens — how many queued
+/// write-backs each context's virtual flush worker performs, and whether
+/// its virtual analysis worker gets a quantum. All scheduler draws depend
+/// only on the program seed, never on the freeze point, so every freeze
+/// value observes the same execution and the same event indexing.
+void run_program(CrashRig& rig, const FuzzProgram& program) {
+  std::uint64_t sm = program.seed ^ 0x5ced0123abcd7777ULL;
+  VirtualScheduler scheduler(splitmix64(sm));
+  for (const FuzzOp& op : program.ops) {
+    switch (op.kind) {
+      case FuzzOpKind::kFaseBegin:
+        rig.fase_begin(op.ctx);
+        break;
+      case FuzzOpKind::kFaseEnd:
+        rig.fase_end(op.ctx);
+        break;
+      case FuzzOpKind::kPstore: {
+        const FuzzObject& obj = program.objects[op.object];
+        const std::vector<std::uint8_t> bytes =
+            payload_bytes(op.value_seed, op.len);
+        rig.pstore(op.ctx, obj.offset + op.offset, bytes.data(),
+                   bytes.size());
+        break;
+      }
+      case FuzzOpKind::kPersistBarrier:
+        rig.persist_barrier(op.ctx);
+        break;
+      case FuzzOpKind::kAlloc:
+      case FuzzOpKind::kFree:
+        break;  // bump-allocated offsets; nothing for the rig to do
+    }
+    for (std::uint32_t c = 0; c < program.contexts; ++c) {
+      for (std::uint32_t n = scheduler.flush_quantum(); n > 0; --n) {
+        if (!rig.pump_flush(c)) break;
+      }
+      if (scheduler.analysis_quantum()) (void)rig.pump_analysis(c);
+    }
+  }
+}
+
+/// The freeze indices to sweep: exhaustive when the run is small, else the
+/// endpoints plus a seeded random sample — sorted, so the monotonicity
+/// assertion applies across the sampled sweep too. NVC_FUZZ_FREEZE pins a
+/// single point (the replay path).
+std::vector<std::uint64_t> freeze_points(std::uint64_t total,
+                                         std::uint64_t seed) {
+  const std::int64_t pinned = env_int("NVC_FUZZ_FREEZE", -1);
+  if (pinned >= 0) return {static_cast<std::uint64_t>(pinned)};
+  constexpr std::uint64_t kExhaustive = 512;
+  std::vector<std::uint64_t> points;
+  if (total <= kExhaustive) {
+    for (std::uint64_t e = 0; e <= total; ++e) points.push_back(e);
+    return points;
+  }
+  std::uint64_t sm = seed ^ 0xf0f0e1e1d2d2c3c3ULL;
+  Rng rng(splitmix64(sm));
+  points.push_back(0);
+  for (std::uint64_t i = 0; i < kExhaustive; ++i) {
+    points.push_back(rng.below(total + 1));
+  }
+  points.push_back(total);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+// --------------------------------------------------------------------------
+// The tentpole: crash sweep across all eight mode combinations.
+// --------------------------------------------------------------------------
+
+class FuzzCrash : public ::testing::TestWithParam<FuzzMode> {};
+
+TEST_P(FuzzCrash, EveryCrashStateIsACommittedFasePrefix) {
+  const FuzzMode mode = GetParam();
+  const std::string only = env_str("NVC_FUZZ_MODE", "");
+  if (!only.empty() && only != mode_name(mode)) {
+    GTEST_SKIP() << "NVC_FUZZ_MODE=" << only << " filters out this combo";
+  }
+
+  const SeedPlan plan = seed_plan(/*default_iters=*/8);
+  for (std::uint64_t iter = 0; iter < plan.iters; ++iter) {
+    const std::uint64_t seed = plan.seed(iter);
+    const FuzzProgram program = generate_program(seed);
+    const DurabilityOracle oracle(program);
+
+    // Probe run, never frozen: learns the event count (identical for every
+    // freeze value — the execution is deterministic) and pins down the
+    // no-crash contract: an uninterrupted run recovers to exactly the final
+    // committed image of every context.
+    CrashRig probe(fuzz_rig_config(program, mode));
+    run_program(probe, program);
+    const std::uint64_t total = probe.events();
+    for (std::size_t c = 0; c < program.contexts; ++c) {
+      ASSERT_EQ(probe.recovered_data(c), oracle.final_committed(c))
+          << "ctx " << c << ": uninterrupted run lost committed data\n  "
+          << fuzz_replay_line(seed, mode_name(mode), total);
+    }
+
+    std::vector<int> last_index(program.contexts, -1);
+    for (const std::uint64_t e : freeze_points(total, seed)) {
+      CrashRig rig(fuzz_rig_config(program, mode));
+      rig.freeze_at(e);
+      run_program(rig, program);
+      for (std::size_t c = 0; c < program.contexts; ++c) {
+        const std::vector<std::uint8_t> image = rig.recovered_data(c);
+        const int index = oracle.match(c, image);
+        ASSERT_GE(index, 0)
+            << "ctx " << c << ": crash at event " << e << "/" << total
+            << " recovered a state matching no committed FASE\n  "
+            << fuzz_replay_line(seed, mode_name(mode), e);
+        ASSERT_GE(index, last_index[c])
+            << "ctx " << c << ": durability regressed — freeze " << e
+            << " recovered commit " << index << " after an earlier freeze "
+            << "had already reached " << last_index[c] << "\n  "
+            << fuzz_replay_line(seed, mode_name(mode), e);
+        last_index[c] = index;
+      }
+    }
+    if (env_int("NVC_FUZZ_FREEZE", -1) < 0) {
+      // The unfrozen end of the sweep must have reached the final commit.
+      for (std::size_t c = 0; c < program.contexts; ++c) {
+        ASSERT_EQ(static_cast<std::size_t>(last_index[c]) + 1,
+                  oracle.snapshots(c).size())
+            << "ctx " << c << ": sweep never recovered the final commit\n  "
+            << fuzz_replay_line(seed, mode_name(mode), total);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, FuzzCrash, ::testing::ValuesIn(kAllModes),
+                         [](const auto& param_info) {
+                           std::string name = mode_name(param_info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+// --------------------------------------------------------------------------
+// Differential oracle: the analyze/MRC/knee pipeline vs. brute force.
+// --------------------------------------------------------------------------
+
+TEST(FuzzDifferential, AnalysisPipelineMatchesBruteForceReferences) {
+  const SeedPlan plan = seed_plan(/*default_iters=*/8);
+  for (std::uint64_t iter = 0; iter < plan.iters; ++iter) {
+    const std::uint64_t seed = plan.seed(iter);
+    SCOPED_TRACE(replay_hint("NVC_FUZZ_SEED", seed));
+    Rng rng(seed);
+    // A dense renamed trace, the exact shape the burst sampler hands to
+    // analyze_burst (identities allocated from 0).
+    const LineAddr ids = rng.range(4, 40);
+    const std::size_t n = rng.range(64, 384);
+    std::vector<LineAddr> trace(n);
+    for (LineAddr& t : trace) t = rng.below(ids);
+
+    // Interval extraction: dense fast path vs. hashed reference.
+    const auto fast = core::intervals_of_dense_trace(trace, ids);
+    const auto ref = core::intervals_of_trace(trace);
+    ASSERT_EQ(fast.size(), ref.size());
+    auto sorted = [](std::vector<core::ReuseInterval> v) {
+      std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+        return a.e != b.e ? a.e < b.e : a.s < b.s;
+      });
+      return v;
+    };
+    const auto fast_sorted = sorted(fast);
+    const auto ref_sorted = sorted(ref);
+    for (std::size_t i = 0; i < fast_sorted.size(); ++i) {
+      ASSERT_EQ(fast_sorted[i].s, ref_sorted[i].s) << "interval " << i;
+      ASSERT_EQ(fast_sorted[i].e, ref_sorted[i].e) << "interval " << i;
+    }
+
+    // Linear-time reuse curve vs. the O(n^2) window enumeration.
+    const auto n_time = static_cast<LogicalTime>(n);
+    const auto reuse_fast = core::compute_reuse_all_k(fast, n_time);
+    const auto reuse_ref = core::compute_reuse_brute_force(ref, n_time);
+    for (LogicalTime k = 1; k <= n_time; ++k) {
+      ASSERT_NEAR(reuse_fast.at(k), reuse_ref.at(k), 1e-7) << "k=" << k;
+    }
+
+    // Footprint curve vs. its brute-force reference.
+    const auto fp_fast = core::compute_footprint_all_k(trace);
+    const auto fp_ref = core::compute_footprint_brute_force(trace);
+    for (LogicalTime k = 1; k <= n_time; ++k) {
+      ASSERT_NEAR(fp_fast.at(k), fp_ref.at(k), 1e-7) << "k=" << k;
+    }
+
+    // End to end: analyze_burst must equal the pipeline recomposed from the
+    // brute-force reuse curve — same MRC, same knee selection.
+    const core::KneeConfig knee;
+    const core::BurstAnalysis analysis = core::analyze_burst(trace, knee);
+    const core::Mrc mrc_ref = core::mrc_from_reuse(reuse_ref, knee.max_size);
+    ASSERT_EQ(analysis.mrc.max_size(), mrc_ref.max_size());
+    for (std::size_t c = 1; c <= mrc_ref.max_size(); ++c) {
+      ASSERT_NEAR(analysis.mrc.at(c), mrc_ref.at(c), 1e-7) << "size " << c;
+      if (c >= 2) {  // LRU inclusion: the published MRC is non-increasing
+        ASSERT_LE(analysis.mrc.at(c), analysis.mrc.at(c - 1) + 1e-12);
+      }
+    }
+    const core::KneeResult selection =
+        core::KneeFinder(knee).select(mrc_ref);
+    EXPECT_EQ(analysis.selection.chosen_size, selection.chosen_size);
+    EXPECT_EQ(analysis.selection.had_knees, selection.had_knees);
+    EXPECT_EQ(analysis.selection.candidates, selection.candidates);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Differential oracle: generated programs on the REAL runtime.
+// --------------------------------------------------------------------------
+
+std::string unique_region(const char* base) {
+  static int counter = 0;
+  return std::string(base) + "." + std::to_string(::getpid()) + "." +
+         std::to_string(counter++);
+}
+
+TEST(FuzzRuntimeDifferential, LiveObjectsMatchTheOracleAfterRealThreads) {
+  // The crash sweep runs the deterministic rig; this companion replays the
+  // same generated programs on the production Runtime — one real OS thread
+  // per context, real background flush/analysis workers, the real
+  // allocator — and checks every live object's final bytes against the
+  // oracle, plus the log's committed-at-exit invariant. (No crash injection
+  // here: the real backends cannot freeze; nondeterministic interleavings
+  // are exactly what the end-state check must be robust to.)
+  struct RtMode {
+    runtime::LogSyncMode log;
+    bool async_flush;
+    bool async_analysis;
+  };
+  const RtMode rt_modes[] = {
+      {runtime::LogSyncMode::kStrict, false, false},
+      {runtime::LogSyncMode::kBatched, true, true},
+  };
+  const SeedPlan plan = seed_plan(/*default_iters=*/4);
+  for (std::uint64_t iter = 0; iter < plan.iters; ++iter) {
+    const std::uint64_t seed = plan.seed(iter);
+    SCOPED_TRACE(replay_hint("NVC_FUZZ_SEED", seed));
+    const FuzzProgram program = generate_program(seed);
+    const DurabilityOracle oracle(program);
+    for (const RtMode& mode : rt_modes) {
+      SCOPED_TRACE(std::string("log=") + runtime::to_string(mode.log) +
+                   (mode.async_flush ? " asyncflush" : " syncflush") +
+                   (mode.async_analysis ? " asyncanalysis" : ""));
+      runtime::RuntimeConfig config;
+      config.region_name = unique_region("fuzzrt");
+      config.region_size = 1u << 20;
+      config.policy = core::PolicyKind::kSoftCache;
+      config.policy_config.cache_size = 4;
+      config.policy_config.sampler.burst_length = 64;
+      config.policy_config.sampler.hibernation_length = 32;
+      config.policy_config.sampler.async_analysis = mode.async_analysis;
+      config.flush = pmem::FlushKind::kCountOnly;
+      config.undo_logging = true;
+      config.log_sync = mode.log;
+      config.async_flush = mode.async_flush;
+      config.flush_queue_depth = 8;
+      runtime::Runtime rt(config);
+
+      std::vector<void*> ptrs(program.objects.size(), nullptr);
+      std::vector<std::thread> threads;
+      for (std::uint32_t c = 0; c < program.contexts; ++c) {
+        threads.emplace_back([&, c] {
+          for (const FuzzOp& op : program.ops) {
+            if (op.ctx != c) continue;
+            switch (op.kind) {
+              case FuzzOpKind::kFaseBegin:
+                rt.fase_begin();
+                break;
+              case FuzzOpKind::kFaseEnd:
+                rt.fase_end();
+                break;
+              case FuzzOpKind::kPstore: {
+                const std::vector<std::uint8_t> bytes =
+                    payload_bytes(op.value_seed, op.len);
+                rt.pstore(static_cast<char*>(ptrs[op.object]) + op.offset,
+                          bytes.data(), bytes.size());
+                break;
+              }
+              case FuzzOpKind::kPersistBarrier:
+                rt.persist_barrier();
+                break;
+              case FuzzOpKind::kAlloc: {
+                void* p = rt.pm_alloc(op.len);
+                ptrs[op.object] = p;
+                // The oracle's images start zeroed; match it (an
+                // unprotected pstore outside any FASE, as Atlas permits
+                // for initialization).
+                const std::vector<std::uint8_t> zeros(op.len, 0);
+                rt.pstore(p, zeros.data(), zeros.size());
+                break;
+              }
+              case FuzzOpKind::kFree:
+                rt.pm_free(ptrs[op.object]);
+                ptrs[op.object] = nullptr;
+                break;
+            }
+          }
+          rt.thread_flush();
+        });
+      }
+      for (std::thread& t : threads) t.join();
+
+      EXPECT_FALSE(rt.needs_recovery())
+          << "every FASE committed, yet a log segment wants recovery";
+      for (std::uint32_t id = 0; id < program.objects.size(); ++id) {
+        if (ptrs[id] == nullptr) continue;  // freed: memory may be reused
+        const std::vector<std::uint8_t> expected =
+            oracle.final_object_bytes(program, id);
+        EXPECT_EQ(0,
+                  std::memcmp(ptrs[id], expected.data(), expected.size()))
+            << "object " << id << " (ctx " << program.objects[id].ctx
+            << ", " << expected.size() << " bytes) diverged from the oracle";
+      }
+      rt.destroy_storage();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nvc::testing

@@ -10,9 +10,13 @@
 #include "core/fase_trace.hpp"
 #include "core/mrc.hpp"
 #include "core/write_cache.hpp"
+#include "testing/seed.hpp"
 
 namespace nvc::core {
 namespace {
+
+using nvc::testing::replay_hint;
+using nvc::testing::seed_from_env;
 
 // --- exact LRU reference -----------------------------------------------------------
 
@@ -35,7 +39,9 @@ double reference_lru_miss_ratio(const std::vector<LineAddr>& trace,
 }
 
 TEST(MrcExactLru, MatchesReferenceSimulatorOnRandomTraces) {
-  Rng rng(21);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 21);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   for (int round = 0; round < 5; ++round) {
     std::vector<LineAddr> trace;
     for (int i = 0; i < 500; ++i) trace.push_back(rng.below(30));
@@ -60,7 +66,9 @@ TEST(MrcExactLru, LoopPatternHasSharpKnee) {
 }
 
 TEST(MrcExactLru, MonotoneInSize) {
-  Rng rng(8);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 8);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   for (int i = 0; i < 2000; ++i) {
     const double u = rng.uniform();
@@ -100,7 +108,9 @@ TEST(MrcFromReuse, StreamingTraceNeverHits) {
 TEST(MrcFromReuse, ApproximatesExactLruAtTheKnee) {
   // The HOTL conversion is an average-case model; on a working-set trace it
   // must place the knee where exact LRU places it.
-  Rng rng(10);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 10);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   for (int rep = 0; rep < 400; ++rep) {
     for (LineAddr a = 0; a < 12; ++a) {
@@ -118,7 +128,9 @@ TEST(MrcFromReuse, ApproximatesExactLruAtTheKnee) {
 }
 
 TEST(MrcFromReuse, CurveIsNonIncreasingAndBounded) {
-  Rng rng(55);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 55);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   for (int i = 0; i < 3000; ++i) trace.push_back(rng.below(60));
   const auto reuse = compute_reuse_all_k(
@@ -145,7 +157,9 @@ TEST(Mrc, GradientIsDropBetweenAdjacentSizes) {
 TEST(MrcSimulate, FlushRatioEqualsMissRatio) {
   // Invariant: in the write-combining cache, every miss leads to exactly
   // one flush, so simulated miss ratio == flush ratio.
-  Rng rng(3);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 3);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   std::vector<std::size_t> boundaries;
   for (int f = 0; f < 40; ++f) {

@@ -8,9 +8,13 @@
 
 #include "common/rng.hpp"
 #include "core/reuse_locality.hpp"
+#include "testing/seed.hpp"
 
 namespace nvc::core {
 namespace {
+
+using nvc::testing::replay_hint;
+using nvc::testing::seed_from_env;
 
 std::vector<LineAddr> trace_of(std::initializer_list<int> xs) {
   std::vector<LineAddr> t;
@@ -81,7 +85,9 @@ TEST(Reuse, SingleAccessTrace) {
 }
 
 TEST(Reuse, MonotoneNondecreasingInK) {
-  Rng rng(2024);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 2024);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   for (int i = 0; i < 300; ++i) trace.push_back(rng.below(20));
   const auto n = static_cast<LogicalTime>(trace.size());
@@ -93,7 +99,9 @@ TEST(Reuse, MonotoneNondecreasingInK) {
 
 TEST(Reuse, DerivativeBoundedByOne) {
   // reuse(k+1) - reuse(k) is a hit ratio (Eq. 3): it must lie in [0, 1].
-  Rng rng(77);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 77);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   for (int i = 0; i < 400; ++i) trace.push_back(rng.below(13));
   const auto n = static_cast<LogicalTime>(trace.size());
@@ -131,7 +139,9 @@ TEST(Footprint, SimpleTraces) {
 }
 
 TEST(Footprint, BoundedByDistinctData) {
-  Rng rng(31);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 31);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   for (int i = 0; i < 200; ++i) trace.push_back(rng.below(9));
   const auto fp = compute_footprint_all_k(trace);
@@ -170,10 +180,19 @@ std::vector<LineAddr> synthesize(const LocalityCase& c) {
   return trace;
 }
 
+/// The case actually run: NVC_SEED, when set, re-seeds every case of the
+/// sweep (the trace generator stays per-pattern, only the seed changes).
+LocalityCase effective(LocalityCase c) {
+  c.seed = seed_from_env("NVC_SEED", c.seed);
+  return c;
+}
+
 class LocalityProperty : public ::testing::TestWithParam<LocalityCase> {};
 
 TEST_P(LocalityProperty, FastReuseMatchesBruteForce) {
-  const auto trace = synthesize(GetParam());
+  const LocalityCase c = effective(GetParam());
+  SCOPED_TRACE(replay_hint("NVC_SEED", c.seed));
+  const auto trace = synthesize(c);
   const auto n = static_cast<LogicalTime>(trace.size());
   const auto ivs = intervals_of_trace(trace);
   const auto fast = compute_reuse_all_k(ivs, n);
@@ -185,7 +204,9 @@ TEST_P(LocalityProperty, FastReuseMatchesBruteForce) {
 }
 
 TEST_P(LocalityProperty, FastFootprintMatchesBruteForce) {
-  const auto trace = synthesize(GetParam());
+  const LocalityCase c = effective(GetParam());
+  SCOPED_TRACE(replay_hint("NVC_SEED", c.seed));
+  const auto trace = synthesize(c);
   const auto fast = compute_footprint_all_k(trace);
   const auto slow = compute_footprint_brute_force(trace);
   for (LogicalTime k = 1; k <= trace.size(); ++k) {
@@ -196,7 +217,9 @@ TEST_P(LocalityProperty, FastFootprintMatchesBruteForce) {
 
 TEST_P(LocalityProperty, DualityReusePlusFootprintEqualsK) {
   // Paper Eq. 5: reuse(k) + fp(k) = k for every timescale k.
-  const auto trace = synthesize(GetParam());
+  const LocalityCase c = effective(GetParam());
+  SCOPED_TRACE(replay_hint("NVC_SEED", c.seed));
+  const auto trace = synthesize(c);
   const auto n = static_cast<LogicalTime>(trace.size());
   const auto reuse = compute_reuse_all_k(intervals_of_trace(trace), n);
   const auto fp = compute_footprint_all_k(trace);
@@ -224,7 +247,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Reuse, LinearAlgorithmHandlesLargeTraces) {
   // 1M accesses must complete quickly (the brute force would need ~10^12
   // steps); this guards against accidental quadratic regressions.
-  Rng rng(5);
+  const std::uint64_t seed = seed_from_env("NVC_SEED", 5);
+  SCOPED_TRACE(replay_hint("NVC_SEED", seed));
+  Rng rng(seed);
   std::vector<LineAddr> trace;
   trace.reserve(1u << 20);
   for (std::size_t i = 0; i < (1u << 20); ++i) trace.push_back(rng.below(64));
