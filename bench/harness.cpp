@@ -112,6 +112,9 @@ LiveResult run_live(const std::string& workload, core::PolicyKind kind,
   config.undo_logging = env_int("NVC_LOG", 0) != 0;
   config.log_sync =
       runtime::parse_log_sync_mode(env_str("NVC_LOG_SYNC", "strict").c_str());
+  // NVC_FAULT_* attaches the media-fault injector and configures the retry/
+  // degradation machinery (DESIGN.md §10); all-defaults = disabled.
+  config.fault = pmem::FaultConfig::from_env();
 
   runtime::Runtime rt(config);
   workloads::RuntimeApi api(rt);

@@ -266,7 +266,7 @@ void apply_flush_env(runtime::RuntimeConfig& config) {
               static_cast<std::int64_t>(config.simulated_flush_issue_ns)));
 }
 
-void BM_PstoreFase(benchmark::State& state) {
+void run_pstore_fase(benchmark::State& state, bool fault_idle) {
   // End-to-end pstore cost through the Runtime hot path (ctx lookup, undo
   // logging, policy, flush backend), as FASEs of 16 stores over 16 lines.
   // Arg0 selects the log protocol: 0 = logging off, 1 = strict (Atlas,
@@ -274,6 +274,9 @@ void BM_PstoreFase(benchmark::State& state) {
   // Arg1 selects the policy: 0 = ER (flush per store), 1 = SC-offline.
   // Arg2 routes data write-backs through the flush-behind pipeline
   // (DESIGN.md §8) instead of flushing inline on this thread.
+  // `fault_idle` attaches the media-fault injector with every rate at zero:
+  // the fault-tolerant wrappers sit on the flush path but never fire, so the
+  // delta against the plain variant is the pure cost of the hooks.
   const int log_mode = static_cast<int>(state.range(0));
   const bool soft_cache = state.range(1) == 1;
   const bool async = state.range(2) == 1;
@@ -288,6 +291,7 @@ void BM_PstoreFase(benchmark::State& state) {
   config.undo_logging = log_mode != 0;
   config.log_sync = log_mode == 2 ? runtime::LogSyncMode::kBatched
                                   : runtime::LogSyncMode::kStrict;
+  config.fault.attach = fault_idle;
   runtime::Runtime rt(config);
   constexpr int kStoresPerFase = 16;
   auto* arr = static_cast<std::uint64_t*>(
@@ -314,10 +318,21 @@ void BM_PstoreFase(benchmark::State& state) {
   state.SetLabel(std::string(log_mode == 0 ? "log=off"
                              : log_mode == 1 ? "log=strict"
                                              : "log=batched") +
-                 (soft_cache ? "/SC" : "/ER") + (async ? "/async" : ""));
+                 (soft_cache ? "/SC" : "/ER") + (async ? "/async" : "") +
+                 (fault_idle ? "/fault-idle" : ""));
   rt.destroy_storage();
 }
+
+void BM_PstoreFase(benchmark::State& state) { run_pstore_fase(state, false); }
 BENCHMARK(BM_PstoreFase)->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}});
+
+void BM_PstoreFaseFaultIdle(benchmark::State& state) {
+  // Same hot path with the fault injector attached but idle (all rates
+  // zero). EXPERIMENTS.md holds the paired numbers; the acceptance bar is
+  // that this stays within 2% of BM_PstoreFase for the same args.
+  run_pstore_fase(state, true);
+}
+BENCHMARK(BM_PstoreFaseFaultIdle)->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}});
 
 // --- flush-behind pipeline (DESIGN.md §8) -----------------------------------
 

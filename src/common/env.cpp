@@ -13,6 +13,15 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return parsed;
 }
 
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
 std::string env_str(const char* name, const std::string& fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::string(v) : fallback;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
 
 namespace nvc::core {
 
@@ -37,6 +39,16 @@ std::uint64_t steady_now_ns() noexcept {
 
 // --- FlushChannel -----------------------------------------------------------
 
+FlushChannel::FlushChannel(FlushWorker* worker, std::unique_ptr<FlushSink> sink,
+                           std::size_t capacity, bool manual)
+    : worker_(worker),
+      sink_(std::move(sink)),
+      queue_(capacity),
+      manual_(manual),
+      drain_timeout_ns_(static_cast<std::uint64_t>(std::max<std::int64_t>(
+                            0, env_int("NVC_FLUSH_DRAIN_TIMEOUT_MS", 0))) *
+                        1000000ULL) {}
+
 bool FlushChannel::try_push(LineAddr line) {
   if (!queue_.try_push(std::move(line))) return false;
   pushed_.store(pushed_.load(std::memory_order_relaxed) + 1,
@@ -50,6 +62,12 @@ bool FlushChannel::consume_one() {
   }
   const std::optional<LineAddr> line = queue_.try_pop();
   if (line.has_value()) {
+    // flushed_ counts lines *retired from the ring*, success or not: the
+    // drain ticket must complete even when the media rejects a line. A
+    // false outcome has already been accounted by the fault-tolerant sink
+    // below (quarantine + FaultStats), whose release stores this counter's
+    // release publish sequences after — a drain()er that sees the count
+    // also sees the quarantine.
     sink_->flush_line(*line);
     last_flush_thread_ = std::this_thread::get_id();
     flushed_.fetch_add(1, std::memory_order_release);
@@ -67,28 +85,57 @@ void FlushChannel::request_wake() {
 
 void FlushChannel::wait_drained() {
   const std::uint64_t target = pushed_.load(std::memory_order_relaxed);
-  while (flushed_.load(std::memory_order_acquire) < target) {
+  // Watchdog arm: "progress" is the retired-line counter moving. The only
+  // way this loop fails to make progress itself is the consumer lock being
+  // held continuously by a wedged worker (e.g. a backend stuck in a
+  // latency spike or a debugger) — detect that, diagnose once per timeout
+  // period, and keep helping so a recovered worker still completes us.
+  std::uint64_t last_flushed = flushed_.load(std::memory_order_acquire);
+  std::uint64_t stall_since_ns = 0;
+  while (last_flushed < target) {
     // Help: pop and flush on this thread rather than waiting for the worker
     // to be scheduled. The whole backlog drains under one lock hold — one
     // acquire/release and one counter publish per drain, not per line.
-    if (consume_lock_.test_and_set(std::memory_order_acquire)) {
+    if (!consume_lock_.test_and_set(std::memory_order_acquire)) {
+      std::uint64_t done = 0;
+      while (std::optional<LineAddr> line = queue_.try_pop()) {
+        sink_->flush_line(*line);
+        ++done;
+      }
+      if (done != 0) {
+        last_flush_thread_ = std::this_thread::get_id();
+        flushed_.fetch_add(done, std::memory_order_release);
+      }
+      consume_lock_.clear(std::memory_order_release);
+      if (done == 0) std::this_thread::yield();
+    } else {
       // The worker holds the consumer side and is mid-flush on our behalf;
       // yield so a descheduled worker (single-core host) gets the timeslice
       // it needs to finish.
       std::this_thread::yield();
+    }
+    const std::uint64_t now_flushed = flushed_.load(std::memory_order_acquire);
+    if (now_flushed != last_flushed) {
+      last_flushed = now_flushed;
+      stall_since_ns = 0;
       continue;
     }
-    std::uint64_t done = 0;
-    while (std::optional<LineAddr> line = queue_.try_pop()) {
-      sink_->flush_line(*line);
-      ++done;
+    if (drain_timeout_ns_ == 0) continue;
+    const std::uint64_t now = steady_now_ns();
+    if (stall_since_ns == 0) {
+      stall_since_ns = now;
+    } else if (now - stall_since_ns >= drain_timeout_ns_) {
+      stall_warnings_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(
+          stderr,
+          "[nvc] flush drain watchdog: no write-back progress for %llu ms "
+          "(queue depth=%zu pushed=%llu flushed=%llu); continuing as "
+          "helping consumer\n",
+          static_cast<unsigned long long>(drain_timeout_ns_ / 1000000ULL),
+          queue_.size(), static_cast<unsigned long long>(target),
+          static_cast<unsigned long long>(now_flushed));
+      stall_since_ns = now;  // re-arm: one diagnostic per timeout period
     }
-    if (done != 0) {
-      last_flush_thread_ = std::this_thread::get_id();
-      flushed_.fetch_add(done, std::memory_order_release);
-    }
-    consume_lock_.clear(std::memory_order_release);
-    if (done == 0) std::this_thread::yield();
   }
 }
 
@@ -224,14 +271,13 @@ bool AsyncFlushSink::maybe_inflight(LineAddr line) const noexcept {
   return false;
 }
 
-void AsyncFlushSink::flush_line(LineAddr line) {
+bool AsyncFlushSink::flush_line(LineAddr line) {
   if (!channel_->try_push(line)) {
     // Ring full: absorb backpressure synchronously on this thread. The line
     // is flushed exactly once either way, so total data traffic is
     // identical to sync mode.
     ++overflows_;
-    local_->flush_line(line);
-    return;
+    return local_->flush_line(line);
   }
   pending_lines_.push_back(line);
   if (model_.issue_ns != 0) {
@@ -246,6 +292,9 @@ void AsyncFlushSink::flush_line(LineAddr line) {
     device_free_ns_ += model_.issue_ns;
   }
   if (channel_->depth() >= watermark_) channel_->request_wake();
+  // Queued: the worker-side sink decides the line's fate (retry/quarantine
+  // happen there); accepted from this producer's point of view.
+  return true;
 }
 
 void AsyncFlushSink::drain() {

@@ -71,8 +71,19 @@ class FlushChannel {
 
   /// Producer: completion ticket — wait until every line pushed so far has
   /// been written back through the sink. The waiter helps consume, so this
-  /// makes progress even if the worker thread never runs.
+  /// makes progress even if the worker thread never runs. A watchdog
+  /// (NVC_FLUSH_DRAIN_TIMEOUT_MS, read when the channel was opened; 0
+  /// disables) fires when no line retires for that long — e.g. the worker
+  /// wedged mid-flush while holding the consumer lock: it logs one
+  /// diagnostic with the queue depth, bumps stall_warnings(), and keeps
+  /// helping rather than aborting, so a recovered worker still completes
+  /// the drain.
   void wait_drained();
+
+  /// Times the drain watchdog fired (see wait_drained).
+  std::uint64_t stall_warnings() const noexcept {
+    return stall_warnings_.load(std::memory_order_relaxed);
+  }
 
   /// Lines handed to the pipeline (producer-side count).
   std::uint64_t pushed() const noexcept {
@@ -121,9 +132,7 @@ class FlushChannel {
   friend class FlushWorker;
 
   FlushChannel(FlushWorker* worker, std::unique_ptr<FlushSink> sink,
-               std::size_t capacity, bool manual)
-      : worker_(worker), sink_(std::move(sink)), queue_(capacity),
-        manual_(manual) {}
+               std::size_t capacity, bool manual);
 
   /// Pop and flush one line if any is ready. Returns false when the ring
   /// was empty or another thread holds the consumer side right now (it is
@@ -140,6 +149,11 @@ class FlushChannel {
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> flushed_{0};
   std::atomic<bool> closed_{false};
+  /// Drain-watchdog state: timeout captured from the environment at open
+  /// time (per-channel, so tests can vary it), warning count relaxed — it
+  /// is a diagnostic, not a synchronization point.
+  std::uint64_t drain_timeout_ns_ = 0;
+  std::atomic<std::uint64_t> stall_warnings_{0};
   /// Set by the producer when it pokes the worker at the high watermark;
   /// cleared by the worker's sweep. Keeps poke() amortized O(1) per burst
   /// of evictions instead of one mutex round-trip per push.
@@ -230,7 +244,7 @@ class AsyncFlushSink final : public FlushSink {
                  DeviceModel model = DeviceModel());
   ~AsyncFlushSink() override;
 
-  void flush_line(LineAddr line) override;
+  bool flush_line(LineAddr line) override;
   void drain() override;
 
   const FlushChannel& channel() const noexcept { return *channel_; }

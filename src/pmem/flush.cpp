@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/cpu.hpp"
+#include "pmem/fault.hpp"
 
 namespace nvc::pmem {
 
@@ -90,8 +91,23 @@ FlushBackend::FlushBackend(FlushKind kind, std::uint32_t simulated_latency_ns)
   if (!ok) kind_ = FlushKind::kSimulated;
 }
 
-void FlushBackend::flush(const void* addr) noexcept {
+FlushResult FlushBackend::consult_injector(const void* addr) noexcept {
+  // kCountOnly backends skip the spike spin: they exist for pure counting
+  // where wall-clock fidelity is explicitly not wanted.
+  const auto line = line_of(reinterpret_cast<PmAddr>(addr));
+  const FaultDecision d = injector_->on_flush_attempt(line);
+  if (d.spike_ns > 0 && kind_ != FlushKind::kCountOnly) spin_ns(d.spike_ns);
+  if (!d.fail) return FlushResult::kOk;
+  ++faults_;
+  return d.bad ? FlushResult::kBadLine : FlushResult::kTransient;
+}
+
+FlushResult FlushBackend::flush(const void* addr) noexcept {
   ++flushes_;
+  if (injector_ != nullptr && !injector_->idle()) {
+    const FlushResult r = consult_injector(addr);
+    if (r != FlushResult::kOk) return r;  // the write-back never lands
+  }
   switch (kind_) {
     case FlushKind::kClflush:
       do_clflush(addr);
@@ -108,10 +124,15 @@ void FlushBackend::flush(const void* addr) noexcept {
     case FlushKind::kCountOnly:
       break;
   }
+  return FlushResult::kOk;
 }
 
-void FlushBackend::issue(const void* addr) noexcept {
+FlushResult FlushBackend::issue(const void* addr) noexcept {
   ++flushes_;
+  if (injector_ != nullptr && !injector_->idle()) {
+    const FlushResult r = consult_injector(addr);
+    if (r != FlushResult::kOk) return r;
+  }
   switch (kind_) {
     case FlushKind::kClflush:
       do_clflush(addr);
@@ -126,15 +147,20 @@ void FlushBackend::issue(const void* addr) noexcept {
     case FlushKind::kCountOnly:
       break;
   }
+  return FlushResult::kOk;
 }
 
-void FlushBackend::flush_range(const void* addr, std::size_t size) noexcept {
-  if (size == 0) return;
+FlushResult FlushBackend::flush_range(const void* addr,
+                                      std::size_t size) noexcept {
+  FlushResult worst = FlushResult::kOk;
+  if (size == 0) return worst;
   auto first = reinterpret_cast<std::uintptr_t>(addr) & ~(kCacheLineSize - 1);
   const auto last = reinterpret_cast<std::uintptr_t>(addr) + size - 1;
   for (std::uintptr_t line = first; line <= last; line += kCacheLineSize) {
-    flush(reinterpret_cast<const void*>(line));
+    const FlushResult r = flush(reinterpret_cast<const void*>(line));
+    if (static_cast<int>(r) > static_cast<int>(worst)) worst = r;
   }
+  return worst;
 }
 
 void FlushBackend::fence() noexcept {

@@ -34,6 +34,18 @@ FlushKind parse_flush_kind(const char* name);
 
 const char* to_string(FlushKind kind);
 
+class FaultInjector;
+
+/// Outcome of one write-back attempt. Real hardware reports media errors
+/// asynchronously (machine-check / poisoned reads); the simulated backends
+/// surface them synchronously through this result so software-level retry
+/// and quarantine policy is exercisable.
+enum class FlushResult : std::uint8_t {
+  kOk,         // line accepted by the media
+  kTransient,  // this attempt failed; a retry may succeed
+  kBadLine,    // the line is permanently bad; retries are pointless
+};
+
 /// Issues cache-line write-backs and memory fences, counting both.
 class FlushBackend {
  public:
@@ -41,31 +53,44 @@ class FlushBackend {
                         std::uint32_t simulated_latency_ns = 100);
 
   /// Write back (and possibly invalidate) the cache line holding `addr`.
-  void flush(const void* addr) noexcept;
+  FlushResult flush(const void* addr) noexcept;
 
   /// Posted variant for the flush-behind pipeline: issue the write-back
   /// without stalling for its completion. The hardware kinds execute the
   /// (posted) instruction — the fence is where completion is awaited; the
   /// simulated kind only counts, because the async sink models the device
   /// timeline at the producer instead of spinning here on the worker.
-  void issue(const void* addr) noexcept;
+  FlushResult issue(const void* addr) noexcept;
 
-  /// Flush every line in [addr, addr+size).
-  void flush_range(const void* addr, std::size_t size) noexcept;
+  /// Flush every line in [addr, addr+size). Returns the worst per-line
+  /// result (kBadLine > kTransient > kOk).
+  FlushResult flush_range(const void* addr, std::size_t size) noexcept;
 
   /// Order previously issued weak flushes (sfence; no-op for kCountOnly).
   void fence() noexcept;
 
+  /// Route every flush/issue decision through `injector` (nullptr detaches).
+  /// Not owned; must outlive the backend or be detached first.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
+
   FlushKind kind() const noexcept { return kind_; }
   std::uint64_t flush_count() const noexcept { return flushes_; }
   std::uint64_t fence_count() const noexcept { return fences_; }
-  void reset_counters() noexcept { flushes_ = fences_ = 0; }
+  std::uint64_t fault_count() const noexcept { return faults_; }
+  void reset_counters() noexcept { flushes_ = fences_ = faults_ = 0; }
 
  private:
+  FlushResult consult_injector(const void* addr) noexcept;
+
   FlushKind kind_;
   std::uint32_t simulated_latency_ns_;
+  FaultInjector* injector_ = nullptr;
   std::uint64_t flushes_ = 0;
   std::uint64_t fences_ = 0;
+  std::uint64_t faults_ = 0;  // injected failures observed by this backend
 };
 
 }  // namespace nvc::pmem

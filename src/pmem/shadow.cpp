@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "pmem/fault.hpp"
 
 namespace nvc::pmem {
 
@@ -37,14 +38,30 @@ void ShadowPmem::load(PmAddr addr, void* out, std::size_t len) const {
   std::memcpy(out, volatile_.get() + addr, len);
 }
 
-void ShadowPmem::flush_line(LineAddr line) {
-  if (frozen_) return;  // power is off: the write-back never happens
+bool ShadowPmem::flush_line(LineAddr line) {
+  if (frozen_) return true;  // power is off: the write-back never happens
   ++flushes_;
   const PmAddr base = line_base(line);
-  if (base >= size_) return;  // flush of a line we never mapped
+  if (base >= size_) return true;  // flush of a line we never mapped
+  if (injector_ != nullptr && injector_->on_flush_attempt(line).fail) {
+    ++fault_drops_;
+    return false;  // media rejected the write-back; durable image untouched
+  }
   const std::size_t len = std::min(kCacheLineSize, size_ - base);
   std::memcpy(durable_.get() + base, volatile_.get() + base, len);
   dirty_.erase(line);
+  return true;
+}
+
+void ShadowPmem::flush_line_torn(LineAddr line, std::size_t bytes) {
+  NVC_REQUIRE(bytes > 0 && bytes < kCacheLineSize && bytes % 8 == 0,
+              "torn length must be a multiple of 8 below a full line");
+  const PmAddr base = line_base(line);
+  if (base >= size_) return;
+  ++torn_flushes_;
+  const std::size_t len = std::min(bytes, size_ - base);
+  std::memcpy(durable_.get() + base, volatile_.get() + base, len);
+  // The line stays dirty: bytes past the tear never persisted.
 }
 
 void ShadowPmem::flush_all() {

@@ -17,6 +17,8 @@
 
 namespace nvc::pmem {
 
+class FaultInjector;
+
 class ShadowPmem {
  public:
   explicit ShadowPmem(std::size_t size);
@@ -43,11 +45,27 @@ class ShadowPmem {
   }
 
   /// Persist one cache line: copy it from volatile to durable. Dropped
-  /// (volatile image untouched, flush not counted) while frozen.
-  void flush_line(LineAddr line);
+  /// (volatile image untouched, flush not counted) while frozen. Returns
+  /// false when an attached FaultInjector failed the attempt (the durable
+  /// image is untouched); frozen drops return true — power is off, so no
+  /// software could observe the failure anyway.
+  bool flush_line(LineAddr line);
+
+  /// Torn write-back: persist only the first `bytes` bytes of `line`
+  /// (a multiple of 8 < 64). Works even while frozen — this models the
+  /// write-back that raced the power cut and partially landed. The line
+  /// stays dirty: its remaining bytes are still unpersisted.
+  void flush_line_torn(LineAddr line, std::size_t bytes);
 
   /// Persist the line containing byte offset `addr`.
   void flush_addr(PmAddr addr) { flush_line(line_of(addr)); }
+
+  /// Route every flush_line decision through `injector` (nullptr detaches).
+  /// Not owned. Recovery paths detach before re-reading the image.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
 
   /// Persist every dirty line (models a whole-cache flush).
   void flush_all();
@@ -79,6 +97,8 @@ class ShadowPmem {
 
   std::uint64_t stores() const noexcept { return stores_; }
   std::uint64_t flushes() const noexcept { return flushes_; }
+  std::uint64_t fault_drops() const noexcept { return fault_drops_; }
+  std::uint64_t torn_flushes() const noexcept { return torn_flushes_; }
 
   /// Raw base of the volatile image, 64-byte aligned — lets components that
   /// write through pointers (the undo log) live inside the crash model.
@@ -96,9 +116,12 @@ class ShadowPmem {
   AlignedImage volatile_;
   AlignedImage durable_;
   bool frozen_ = false;
+  FaultInjector* injector_ = nullptr;
   std::unordered_set<LineAddr> dirty_;
   std::uint64_t stores_ = 0;
   std::uint64_t flushes_ = 0;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t torn_flushes_ = 0;
 };
 
 }  // namespace nvc::pmem

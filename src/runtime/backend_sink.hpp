@@ -12,8 +12,9 @@ class BackendSink final : public core::FlushSink {
  public:
   explicit BackendSink(pmem::FlushBackend* backend) : backend_(backend) {}
 
-  void flush_line(LineAddr line) override {
-    backend_->flush(reinterpret_cast<const void*>(line_base(line)));
+  bool flush_line(LineAddr line) override {
+    return backend_->flush(reinterpret_cast<const void*>(line_base(line))) ==
+           pmem::FlushResult::kOk;
   }
   void drain() override { backend_->fence(); }
 
@@ -33,12 +34,14 @@ class IssueSink final : public core::FlushSink {
   IssueSink(pmem::FlushKind kind, std::uint32_t simulated_latency_ns)
       : backend_(kind, simulated_latency_ns) {}
 
-  void flush_line(LineAddr line) override {
-    backend_.issue(reinterpret_cast<const void*>(line_base(line)));
+  bool flush_line(LineAddr line) override {
+    return backend_.issue(reinterpret_cast<const void*>(line_base(line))) ==
+           pmem::FlushResult::kOk;
   }
   void drain() override { backend_.fence(); }
 
   const pmem::FlushBackend& backend() const noexcept { return backend_; }
+  pmem::FlushBackend& backend() noexcept { return backend_; }
 
  private:
   pmem::FlushBackend backend_;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "core/fault_sink.hpp"
 #include "core/flush_pipeline.hpp"
 #include "core/log_ordered_sink.hpp"
 #include "runtime/backend_sink.hpp"
@@ -20,11 +21,44 @@ std::uint64_t next_instance_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// The retry schedule the core fault-tolerant sinks run with, copied from
+/// the (pmem-side) fault config so one env surface controls both layers.
+core::RetryPolicy retry_policy(const RuntimeConfig& config) {
+  return core::RetryPolicy{config.fault.max_retries, config.fault.backoff_ns,
+                           config.fault.backoff_cap_ns};
+}
+
+/// Worker-side sink for fault mode: retry/quarantine wrapped around the
+/// channel's IssueSink. It keeps shared ownership of the injector and the
+/// per-thread FaultStats because the FlushChannel that owns this sink may
+/// outlive both the ThreadContext and the Runtime (see open_flush_channel).
+struct WorkerFaultSink final : core::FlushSink {
+  WorkerFaultSink(std::unique_ptr<IssueSink> issue,
+                  std::shared_ptr<pmem::FaultInjector> injector,
+                  std::shared_ptr<core::FaultStats> stats,
+                  core::RetryPolicy policy)
+      : injector_(std::move(injector)),
+        stats_(std::move(stats)),
+        issue_(std::move(issue)),
+        ft_(issue_.get(), stats_.get(), policy) {
+    issue_->backend().set_fault_injector(injector_.get());
+  }
+  bool flush_line(LineAddr line) override { return ft_.flush_line(line); }
+  void drain() override { ft_.drain(); }
+
+  std::shared_ptr<pmem::FaultInjector> injector_;
+  std::shared_ptr<core::FaultStats> stats_;
+  std::unique_ptr<IssueSink> issue_;
+  core::FaultTolerantSink ft_;
+};
+
 /// Open this thread's ring to the shared flush worker. The channel owns the
 /// worker-side IssueSink (posted write-backs, private backend) so it stays
 /// valid even if the worker still holds the channel after the runtime dies.
 std::shared_ptr<core::FlushChannel> open_flush_channel(
-    const RuntimeConfig& config) {
+    const RuntimeConfig& config,
+    const std::shared_ptr<pmem::FaultInjector>& injector,
+    const std::shared_ptr<core::FaultStats>& faults) {
   if (!config.async_flush) return nullptr;
   // Sanitize the configured depth (it arrives from NVC_FLUSH_QUEUE in the
   // harness): clamp to a sane range and round up to the power of two the
@@ -33,9 +67,20 @@ std::shared_ptr<core::FlushChannel> open_flush_channel(
   if (depth < 16) depth = 16;
   if (depth > (std::size_t{1} << 20)) depth = std::size_t{1} << 20;
   depth = std::bit_ceil(depth);
-  return core::FlushWorker::shared().open_channel(
-      std::make_unique<IssueSink>(config.flush, config.simulated_flush_ns),
-      depth);
+  auto issue =
+      std::make_unique<IssueSink>(config.flush, config.simulated_flush_ns);
+  std::unique_ptr<core::FlushSink> sink;
+  // `faults` is only allocated for an armed injector (one that can actually
+  // fire). An attached-but-idle injector keeps its hooks on the
+  // application-thread backends but not here: the worker sink would need
+  // shared ownership purely to consult a branch that always says kOk.
+  if (injector != nullptr && faults != nullptr) {
+    sink = std::make_unique<WorkerFaultSink>(std::move(issue), injector,
+                                             faults, retry_policy(config));
+  } else {
+    sink = std::move(issue);
+  }
+  return core::FlushWorker::shared().open_channel(std::move(sink), depth);
 }
 
 /// Device timing model for the async sink: active only when the backend
@@ -60,37 +105,81 @@ core::AsyncFlushSink::DeviceModel device_model(const RuntimeConfig& config) {
 
 struct Runtime::ThreadContext {
   ThreadContext(const RuntimeConfig& config, std::size_t slot_index,
-                void* log_base)
+                void* log_base,
+                const std::shared_ptr<pmem::FaultInjector>& injector)
       : slot(slot_index),
         backend(config.flush, config.simulated_flush_ns),
         log_backend(config.flush, config.simulated_flush_ns),
         sink(&backend),
         log_sink(&log_backend),
+        // The retry/quarantine layer arms only when the injector can
+        // actually fire. An attached-but-idle injector (NVC_FAULT_ATTACH
+        // with every rate zero) keeps the backend hooks in place — that is
+        // what BM_PstoreFaseFaultIdle prices — but a retry of a flush that
+        // cannot fail is dead weight on every write-back.
+        faults(injector != nullptr && !injector->idle()
+                   ? std::make_shared<core::FaultStats>()
+                   : nullptr),
+        ft_data(faults != nullptr
+                    ? std::make_unique<core::FaultTolerantSink>(
+                          &sink, faults.get(), retry_policy(config))
+                    : nullptr),
+        ft_log(faults != nullptr
+                   ? std::make_unique<core::FaultTolerantSink>(
+                         &log_sink, faults.get(), retry_policy(config))
+                   : nullptr),
         policy(core::make_policy(config.policy, config.policy_config)),
         log(log_base != nullptr
-                ? std::make_unique<UndoLog>(log_base, config.log_segment_size,
-                                            &log_sink, config.log_sync)
+                ? std::make_unique<UndoLog>(
+                      log_base, config.log_segment_size,
+                      ft_log != nullptr
+                          ? static_cast<core::FlushSink*>(ft_log.get())
+                          : &log_sink,
+                      config.log_sync)
                 : nullptr),
-        flush_channel(open_flush_channel(config)),
+        flush_channel(open_flush_channel(config, injector, faults)),
         async_sink(flush_channel != nullptr
                        ? std::make_unique<core::AsyncFlushSink>(
-                             flush_channel, &sink, device_model(config))
+                             flush_channel, sync_data(), device_model(config))
                        : nullptr),
         ordered_sink(async_sink != nullptr
                          ? static_cast<core::FlushSink*>(async_sink.get())
-                         : &sink,
-                     log.get()) {}
+                         : sync_data(),
+                     log.get()),
+        ordered_sync(async_sink != nullptr && faults != nullptr
+                         ? std::make_unique<core::LogOrderedSink>(sync_data(),
+                                                                  log.get())
+                         : nullptr) {
+    if (injector != nullptr) {
+      backend.set_fault_injector(injector.get());
+      log_backend.set_fault_injector(injector.get());
+    }
+  }
+
+  /// The synchronous data path: the retrying decorator when faults are on,
+  /// else the bare backend sink. Used directly (sync mode), as the async
+  /// sink's local overflow/fallback sink, and as the degraded route.
+  core::FlushSink* sync_data() noexcept {
+    return ft_data != nullptr ? static_cast<core::FlushSink*>(ft_data.get())
+                              : &sink;
+  }
 
   /// The sink policies flush into. With a log, data flushes are routed
   /// through the ordering decorator so log entries are durable before any
   /// line they cover (the batched-mode invariant; a cheap no-op in strict
   /// mode, where record() already synced). The decorator wraps the async
   /// sink when the flush-behind pipeline is on — the log sync therefore
-  /// happens at *enqueue* time, before a line can enter the ring.
+  /// happens at *enqueue* time, before a line can enter the ring. Once the
+  /// async→sync degradation latch fires, traffic reroutes to the ordered
+  /// synchronous (retrying) path and the ring is never fed again.
   core::FlushSink& data_sink() noexcept {
+    if (flush_degraded) {
+      if (ordered_sync) return *ordered_sync;
+      return *sync_data();  // no log: plain retrying synchronous path
+    }
     if (log) return ordered_sink;
     if (async_sink) return *async_sink;
-    return sink;
+    return *sync_data();
   }
 
   std::size_t slot;
@@ -98,6 +187,13 @@ struct Runtime::ThreadContext {
   pmem::FlushBackend log_backend;  // undo-log persistence traffic
   BackendSink sink;
   BackendSink log_sink;
+  // Fault tolerance (all null in fault-free runs and under an idle
+  // injector — the hot path then touches none of this). `faults` is shared
+  // with the worker-side sink inside flush_channel, which may outlive this
+  // context.
+  std::shared_ptr<core::FaultStats> faults;
+  std::unique_ptr<core::FaultTolerantSink> ft_data;  // retry over sink
+  std::unique_ptr<core::FaultTolerantSink> ft_log;   // retry over log_sink
   std::unique_ptr<core::Policy> policy;
   std::unique_ptr<UndoLog> log;
   /// Flush-behind pipeline state (async mode only). Declared before
@@ -107,13 +203,29 @@ struct Runtime::ThreadContext {
   std::shared_ptr<core::FlushChannel> flush_channel;
   std::unique_ptr<core::AsyncFlushSink> async_sink;
   core::LogOrderedSink ordered_sink;
+  /// Degraded sync route (fault+async+log only): ordering decorator over
+  /// the retrying synchronous sink, bypassing the ring.
+  std::unique_ptr<core::LogOrderedSink> ordered_sync;
   std::uint32_t fase_depth = 0;
+  // Graceful-degradation latches (one-way; evaluated at outermost
+  // fase_begin, except commit suspension which fires at fase_end):
+  bool flush_degraded = false;
+  bool log_degraded = false;
+  /// A quarantined line means some write-back of this context is
+  /// permanently lost; committing would truncate the undo records that
+  /// still cover it. Suspending commits pins recovery at the last good
+  /// commit, preserving all-or-nothing (data since then is sacrificed).
+  bool commit_suspended = false;
 };
 
 Runtime::Runtime(RuntimeConfig config)
     : config_(std::move(config)), instance_id_(next_instance_id()) {
   NVC_REQUIRE(config_.region_size >= (1u << 16));
   NVC_REQUIRE(config_.max_threads >= 1);
+
+  if (config_.fault.enabled()) {
+    injector_ = std::make_shared<pmem::FaultInjector>(config_.fault);
+  }
 
   pmem::PmemRegion data =
       config_.fresh
@@ -175,7 +287,7 @@ Runtime::ThreadContext& Runtime::ctx_slow() {
                 slot * config_.log_segment_size
           : nullptr;
   contexts_.push_back(
-      std::make_unique<ThreadContext>(config_, slot, log_base));
+      std::make_unique<ThreadContext>(config_, slot, log_base, injector_));
   ThreadContext* c = contexts_.back().get();
   tl_cache.emplace(instance_id_, c);
   return *c;
@@ -205,9 +317,36 @@ void* Runtime::get_root() const {
   return allocator_->resolve(allocator_->root());
 }
 
+void Runtime::maybe_degrade(ThreadContext& c) {
+  if (c.faults == nullptr) return;
+  const bool trigger =
+      c.faults->quarantined_count() > 0 ||
+      c.faults->transients() >= config_.fault.degrade_after;
+  if (!trigger) return;
+  if (c.async_sink != nullptr && !c.flush_degraded) {
+    // Async→sync latch: drain the ring so no line is stranded behind the
+    // reroute, then send all further traffic through the synchronous
+    // retrying path. One-way — a misbehaving medium does not earn the
+    // pipeline back.
+    c.async_sink->drain();
+    c.flush_degraded = true;
+  }
+  if (c.log != nullptr && !c.log_degraded &&
+      c.log->mode() == LogSyncMode::kBatched) {
+    // Batched→strict latch: persist what is pending under the old
+    // discipline (best effort — a failure here surfaces as a transient and
+    // the per-record syncs retry the same range), then every record is
+    // durable before its pstore returns.
+    c.log->sync();
+    c.log->degrade_to_strict();
+    c.log_degraded = true;
+  }
+}
+
 void Runtime::fase_begin() {
   ThreadContext& c = ctx();
   if (c.fase_depth++ == 0) {
+    if (c.faults != nullptr) maybe_degrade(c);
     c.policy->on_fase_begin(c.data_sink());
   }
 }
@@ -217,7 +356,17 @@ void Runtime::fase_end() {
   NVC_REQUIRE(c.fase_depth > 0, "fase_end without matching fase_begin");
   if (--c.fase_depth == 0) {
     c.policy->on_fase_end(c.data_sink());
-    if (c.log) c.log->commit();  // atomic commit point of the FASE
+    if (c.log) {
+      // Commit suspension: once any line of this context is quarantined,
+      // never move the commit point again (checked after the policy's
+      // flushes above, which is where quarantine verdicts land).
+      if (c.commit_suspended) return;
+      if (c.faults != nullptr && c.faults->quarantined_count() > 0) {
+        c.commit_suspended = true;
+        return;
+      }
+      c.log->commit();  // atomic commit point of the FASE
+    }
   }
 }
 
@@ -236,17 +385,19 @@ void Runtime::pstore(void* dst, const void* src, std::size_t len) {
                     piece);
       done += piece;
     }
-    if (c.async_sink) {
+    if (c.async_sink && !c.flush_degraded) {
       // Write-after-enqueue hazard (DESIGN.md §8): if any line this store
       // touches is still queued in the flush-behind ring, the background
       // write-back may carry this store's new bytes — so this store's undo
-      // record must be durable before the data write below.
+      // record must be durable before the data write below. If the log
+      // media rejects the sync, fall back to draining the ring: with no
+      // line of this store in flight, the hazard is gone.
       const auto a = reinterpret_cast<PmAddr>(dst);
       const LineAddr first = line_of(a);
       const LineAddr last = line_of(a + len - 1);
       for (LineAddr line = first; line <= last; ++line) {
         if (c.async_sink->maybe_inflight(line)) {
-          c.log->sync();
+          if (!c.log->sync()) c.async_sink->drain();
           break;
         }
       }
@@ -305,6 +456,11 @@ std::size_t Runtime::recover() {
     undone += log.rollback(
         [this, &backend](std::uint64_t token, const void* bytes,
                          std::uint32_t len) {
+          // Defensive bound: a record whose token falls outside the data
+          // region is untrusted (a torn or corrupted entry that happened to
+          // self-certify); skipping it is strictly safer than writing
+          // through a wild pointer.
+          if (token + len > allocator_->region().size()) return;
           void* dst = allocator_->region().at(token);
           std::memcpy(dst, bytes, len);
           backend.flush_range(dst, len);
@@ -347,11 +503,41 @@ RuntimeStats Runtime::stats() const {
       s.log_bytes += c->log->bytes_logged();
       s.log_syncs += c->log->sync_points();
     }
+    if (c->faults) {
+      s.transient_faults += c->faults->transients();
+      s.flush_retries += c->faults->retries();
+      s.quarantined_lines += c->faults->quarantined_count();
+      s.flush_degrades += c->flush_degraded ? 1 : 0;
+      s.log_degrades += c->log_degraded ? 1 : 0;
+    }
     if (const std::size_t size = c->policy->current_cache_size(); size > 0) {
       s.cache_sizes.push_back(size);
     }
   }
   return s;
+}
+
+HealthReport Runtime::health() const {
+  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  HealthReport report;
+  report.faults_attached = injector_ != nullptr;
+  for (const auto& c : contexts_) {
+    if (c->faults == nullptr) continue;
+    report.transient_faults += c->faults->transients();
+    report.flush_retries += c->faults->retries();
+    const std::vector<LineAddr> lines = c->faults->quarantined_lines();
+    report.quarantined_lines.insert(report.quarantined_lines.end(),
+                                    lines.begin(), lines.end());
+    report.flush_degraded_contexts += c->flush_degraded ? 1 : 0;
+    report.log_degraded_contexts += c->log_degraded ? 1 : 0;
+    report.commit_suspended_contexts += c->commit_suspended ? 1 : 0;
+  }
+  std::sort(report.quarantined_lines.begin(), report.quarantined_lines.end());
+  report.quarantined_lines.erase(
+      std::unique(report.quarantined_lines.begin(),
+                  report.quarantined_lines.end()),
+      report.quarantined_lines.end());
+  return report;
 }
 
 void Runtime::destroy_storage() {

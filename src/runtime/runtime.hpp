@@ -27,9 +27,11 @@
 
 #include "common/types.hpp"
 #include "core/policy.hpp"
+#include "pmem/fault.hpp"
 #include "pmem/flush.hpp"
 #include "pmem/pmem_alloc.hpp"
 #include "pmem/pmem_region.hpp"
+#include "runtime/health.hpp"
 #include "runtime/undo_log.hpp"
 
 namespace nvc::runtime {
@@ -66,6 +68,14 @@ struct RuntimeConfig {
   LogSyncMode log_sync = LogSyncMode::kStrict;
   std::size_t log_segment_size = 1u << 20;
   std::size_t max_threads = 64;
+
+  /// Media-fault injection and tolerance (NVC_FAULT_*, DESIGN.md §10). When
+  /// fault.enabled() the runtime owns a FaultInjector consulted by every
+  /// flush backend, wraps the flush paths in retrying FaultTolerantSinks,
+  /// and latches graceful degradation (async→sync flushing, batched→strict
+  /// logging) once the media misbehaves. Default-constructed = disabled:
+  /// the fault-free hot path is untouched.
+  pmem::FaultConfig fault;
 };
 
 /// Statistics aggregated over all thread contexts.
@@ -81,6 +91,12 @@ struct RuntimeStats {
   std::uint64_t log_records = 0;
   std::uint64_t log_bytes = 0;
   std::uint64_t log_syncs = 0;     // log sync points (epochs in kBatched)
+  // Media-fault tolerance (all zero when no injector is attached):
+  std::uint64_t transient_faults = 0;  // rejected write-back attempts
+  std::uint64_t flush_retries = 0;     // retry attempts issued
+  std::uint64_t quarantined_lines = 0; // lines that exhausted retries
+  std::uint64_t flush_degrades = 0;    // contexts latched async -> sync
+  std::uint64_t log_degrades = 0;      // contexts latched batched -> strict
   std::size_t threads = 0;
   std::vector<std::size_t> cache_sizes;  // per-thread selected sizes (SC)
 
@@ -156,6 +172,10 @@ class Runtime {
   /// Aggregate statistics over every thread that used this runtime.
   RuntimeStats stats() const;
 
+  /// Aggregate media-health view: fault counters, quarantined lines, and
+  /// which degradation latches have fired (runtime/health.hpp).
+  HealthReport health() const;
+
   /// Drain this thread's context: flush anything buffered (program end).
   void thread_flush();
 
@@ -171,8 +191,13 @@ class Runtime {
   ThreadContext& ctx();
   ThreadContext& ctx_slow();
   void pwrote_in(ThreadContext& c, const void* addr, std::size_t len);
+  void maybe_degrade(ThreadContext& c);
 
   RuntimeConfig config_;
+  /// Media-fault decision source (null when config_.fault is disabled).
+  /// Shared: the worker-side sink inside a FlushChannel keeps a reference,
+  /// and a channel may outlive the Runtime (see open_flush_channel).
+  std::shared_ptr<pmem::FaultInjector> injector_;
   std::unique_ptr<pmem::PmemAllocator> allocator_;
   pmem::PmemRegion log_region_;
   std::uint64_t instance_id_;

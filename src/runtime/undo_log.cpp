@@ -51,20 +51,32 @@ UndoLog::UndoLog(void* base, std::size_t size, core::FlushSink* sink,
   }
 }
 
-void UndoLog::persist(const void* p, std::size_t len) {
+bool UndoLog::persist(const void* p, std::size_t len) {
   NVC_ASSERT(len > 0);
   const auto addr = reinterpret_cast<PmAddr>(p);
   const LineAddr first = line_of(addr);
   const LineAddr last = line_of(addr + len - 1);
-  for (LineAddr line = first; line <= last; ++line) sink_->flush_line(line);
+  bool ok = true;
+  // Attempt every line even after a failure (retry/quarantine accounting
+  // below the sink wants to see each one), then fence what did land.
+  for (LineAddr line = first; line <= last; ++line) {
+    ok = sink_->flush_line(line) && ok;
+  }
   sink_->drain();
+  return ok;
 }
 
-void UndoLog::publish_state(std::uint32_t gen, std::uint64_t tail) {
+bool UndoLog::publish_state(std::uint32_t gen, std::uint64_t tail) {
   // A single aligned 8-byte store: atomic with respect to power failure, so
   // generation and tail can never tear apart.
+  const std::uint64_t previous = header()->state;
   header()->state = pack_state(gen, tail);
-  persist(&header()->state, sizeof(header()->state));
+  if (persist(&header()->state, sizeof(header()->state))) return true;
+  // The durable header still holds `previous`: restore the volatile view
+  // to match so in-memory reads (tail(), walk_entries()) never run ahead
+  // of what a crash would leave behind.
+  header()->state = previous;
+  return false;
 }
 
 std::uint32_t UndoLog::entry_check(std::uint64_t addr_token, std::uint32_t len,
@@ -155,20 +167,32 @@ void UndoLog::record(std::uint64_t addr_token, const void* current_bytes,
   if (mode_ == LogSyncMode::kStrict) sync();
 }
 
-void UndoLog::sync() {
-  if (appended_tail_ == synced_tail_) return;
-  persist(base_ + synced_tail_, appended_tail_ - synced_tail_);
-  publish_state(gen_, appended_tail_);
+bool UndoLog::sync() {
+  if (appended_tail_ == synced_tail_) return true;
+  // Entries must be durable before the tail that covers them: a failed
+  // entry flush leaves the synced state untouched so the next sync (or a
+  // retry above us) covers the same range again.
+  if (!persist(base_ + synced_tail_, appended_tail_ - synced_tail_)) {
+    return false;
+  }
+  if (!publish_state(gen_, appended_tail_)) return false;
   synced_tail_ = appended_tail_;
   ++sync_points_;
+  return true;
 }
 
-void UndoLog::commit() {
+bool UndoLog::commit() {
   // Advancing the generation de-certifies every entry of this FASE in one
   // atomic durable store; unsynced entries are simply discarded.
+  if (!publish_state(gen_ + 1, kHeaderSize)) {
+    // The durable header still certifies this generation's records; keep
+    // the volatile generation in step so recovery (which would roll the
+    // whole FASE back) and future records agree on it.
+    return false;
+  }
   ++gen_;
-  publish_state(gen_, kHeaderSize);
   appended_tail_ = synced_tail_ = kHeaderSize;
+  return true;
 }
 
 }  // namespace nvc::runtime

@@ -83,12 +83,23 @@ class UndoLog final : public core::EpochLog {
 
   /// Epoch boundary (core::EpochLog): make every appended record durable.
   /// O(1) no-op when nothing has been appended since the last sync.
-  void sync() override;
+  /// Returns false when the log media rejected a write-back: the pending
+  /// entries (or the tail covering them) are NOT durable, synced state is
+  /// unchanged, and callers must not flush data those entries cover.
+  bool sync() override;
 
   /// Commit: truncate the log durably and advance the generation (the
   /// FASE's updates become permanent; stale entry bytes left in the segment
-  /// no longer certify). A single flush+fence of the header word.
-  void commit();
+  /// no longer certify). A single flush+fence of the header word. Returns
+  /// false when the header write-back failed: the generation does NOT
+  /// advance (volatile and durable state are restored to the pre-commit
+  /// view), so the FASE stays uncommitted and recovery would roll it back.
+  bool commit();
+
+  /// Graceful degradation latch: switch a batched log to strict, per-record
+  /// durability. Callers sync() first so no appended entry is left behind
+  /// under the old discipline. Irreversible by design.
+  void degrade_to_strict() noexcept { mode_ = LogSyncMode::kStrict; }
 
   /// Roll back every uncommitted record, newest first. `apply` restores the
   /// payload bytes at the location identified by the token. Walks the entry
@@ -145,8 +156,8 @@ class UndoLog final : public core::EpochLog {
   }
 
   LogHeader* header() const { return reinterpret_cast<LogHeader*>(base_); }
-  void persist(const void* p, std::size_t len);
-  void publish_state(std::uint32_t gen, std::uint64_t tail);
+  bool persist(const void* p, std::size_t len);
+  bool publish_state(std::uint32_t gen, std::uint64_t tail);
   static std::uint32_t entry_check(std::uint64_t addr_token, std::uint32_t len,
                                    std::uint32_t gen,
                                    const void* payload) noexcept;

@@ -24,8 +24,11 @@ std::string replay_hint(const char* env_var, std::uint64_t seed);
 
 /// The fuzzer's one-line replay command: environment + ctest invocation
 /// that deterministically reproduces one (seed, mode, freeze) crash case.
+/// `fault_env` is the active NVC_FAULT_* fragment (FaultConfig::describe())
+/// when the run injects media faults — empty keeps the line unchanged.
 std::string fuzz_replay_line(std::uint64_t program_seed,
                              const std::string& mode_name,
-                             std::uint64_t freeze_event);
+                             std::uint64_t freeze_event,
+                             const std::string& fault_env = "");
 
 }  // namespace nvc::testing

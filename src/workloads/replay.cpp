@@ -59,7 +59,10 @@ namespace {
 class SimSink final : public core::FlushSink {
  public:
   explicit SimSink(hwsim::CoreSim* core) : core_(core) {}
-  void flush_line(LineAddr line) override { core_->flush(line); }
+  bool flush_line(LineAddr line) override {
+    core_->flush(line);
+    return true;
+  }
   void drain() override { core_->drain(); }
 
  private:

@@ -13,15 +13,22 @@ namespace nvc::testing {
 struct CrashRig::FreezeSink final : core::FlushSink {
   FreezeSink(CrashRig* owner, LineAddr line_shift)
       : rig(owner), shift(line_shift) {}
-  void flush_line(LineAddr line) override {
+  bool flush_line(LineAddr line) override {
     flushes.fetch_add(1, std::memory_order_relaxed);
     // Atomically claim this flush's event index: in real-worker async mode
     // the background worker and the application thread race for slots, and
     // the power-failure cut must be a single consistent point.
     const std::uint64_t e = rig->claim_event();
-    if (!rig->powered(e)) return;  // power is off: the line never persists
+    if (!rig->powered(e)) {
+      // Power is off: the line never persists — except that the write-back
+      // racing the cut may land torn (fault dimension; no-op when no
+      // injector or the line drew "no tear"). Either way report success:
+      // software running before the cut can never observe this outcome.
+      rig->maybe_tear(line - shift, e);
+      return true;
+    }
     std::lock_guard<std::mutex> lock(rig->shadow_mutex_);
-    rig->shadow_.flush_line(line - shift);
+    return rig->shadow_.flush_line(line - shift);
   }
   void drain() override { fences.fetch_add(1, std::memory_order_relaxed); }
   CrashRig* rig;
@@ -34,7 +41,7 @@ struct CrashRig::FreezeSink final : core::FlushSink {
 /// forwarder while the FreezeSink (and its counters) stay with the rig.
 struct CrashRig::ForwardSink final : core::FlushSink {
   explicit ForwardSink(core::FlushSink* t) : target(t) {}
-  void flush_line(LineAddr line) override { target->flush_line(line); }
+  bool flush_line(LineAddr line) override { return target->flush_line(line); }
   void drain() override {}
   core::FlushSink* target;
 };
@@ -43,7 +50,9 @@ struct CrashRig::ForwardSink final : core::FlushSink {
 struct CrashRig::LiveSink final : core::FlushSink {
   LiveSink(pmem::ShadowPmem* target, LineAddr line_shift)
       : shadow(target), shift(line_shift) {}
-  void flush_line(LineAddr line) override { shadow->flush_line(line - shift); }
+  bool flush_line(LineAddr line) override {
+    return shadow->flush_line(line - shift);
+  }
   void drain() override {}
   pmem::ShadowPmem* shadow;
   LineAddr shift;
@@ -67,6 +76,29 @@ struct CrashRig::Context {
   std::shared_ptr<core::FlushChannel> flush_channel;
   std::unique_ptr<core::AsyncFlushSink> async_sink;
   std::unique_ptr<core::LogOrderedSink> ordered;
+
+  // --- fault dimension (members live only when the injector is attached;
+  // the sinks above are used directly otherwise, so the fault-free event
+  // sequence is bit-identical to the pre-fault rig) ------------------------
+  core::FaultStats faults;
+  std::unique_ptr<core::FaultTolerantSink> ft_data;  // retry over data_sink
+  std::unique_ptr<core::FaultTolerantSink> ft_log;   // retry over log_sink
+  /// Sync data path used after the async→sync latch (and, fault-mode
+  /// sync-flush, from the start): ordering decorator over the retrying
+  /// synchronous sink.
+  std::unique_ptr<core::LogOrderedSink> ordered_sync;
+  bool flush_degraded = false;
+  bool log_degraded = false;
+  /// One-way: a quarantined line means some pre-crash state of this
+  /// context may be unrecoverable *if we moved the commit point past it*;
+  /// never committing again keeps recovery pinned at the last good commit
+  /// (all-or-nothing holds, data past it is sacrificed).
+  bool commit_suspended = false;
+
+  /// The sink FASE traffic flows through right now.
+  core::FlushSink& route() {
+    return flush_degraded ? *ordered_sync : *ordered;
+  }
 };
 
 CrashRig::CrashRig(const CrashRigConfig& config)
@@ -78,8 +110,24 @@ CrashRig::CrashRig(const CrashRigConfig& config)
   NVC_REQUIRE(config.log_bytes % kCacheLineSize == 0);
   NVC_REQUIRE(!config.async_analysis || config.online_policy,
               "async analysis is a mode of the online policy");
+  if (config_.fault.enabled()) {
+    // Attached before any context formats its log, so permanently bad
+    // lines can hit even the setup write-backs (a stillborn context whose
+    // header never persists is a legal fault outcome recovery must handle).
+    injector_ = std::make_unique<pmem::FaultInjector>(config_.fault);
+    shadow_.set_fault_injector(injector_.get());
+  }
+  const core::RetryPolicy retry{config_.fault.max_retries,
+                                config_.fault.backoff_ns,
+                                config_.fault.backoff_cap_ns};
   for (std::size_t i = 0; i < config_.contexts; ++i) {
     auto c = std::make_unique<Context>(this, log_shift_);
+    if (injector_) {
+      c->ft_data = std::make_unique<core::FaultTolerantSink>(&c->data_sink,
+                                                             &c->faults, retry);
+      c->ft_log = std::make_unique<core::FaultTolerantSink>(&c->log_sink,
+                                                            &c->faults, retry);
+    }
     core::PolicyConfig pc;
     pc.cache_size = config_.cache_size;
     if (config_.online_policy) {
@@ -93,28 +141,45 @@ CrashRig::CrashRig(const CrashRigConfig& config)
     } else {
       c->policy = core::make_policy(core::PolicyKind::kSoftCacheOffline, pc);
     }
+    core::FlushSink* sync_data =
+        c->ft_data ? static_cast<core::FlushSink*>(c->ft_data.get())
+                   : &c->data_sink;
+    core::FlushSink* log_path =
+        c->ft_log ? static_cast<core::FlushSink*>(c->ft_log.get())
+                  : &c->log_sink;
     c->log = std::make_unique<runtime::UndoLog>(
-        shadow_.volatile_base() + log_offset(i), config_.log_bytes,
-        &c->log_sink, config_.mode);
+        shadow_.volatile_base() + log_offset(i), config_.log_bytes, log_path,
+        config_.mode);
     c->log->format();  // pre-script: not an event, cannot be frozen away
     if (config_.async_flush) {
       // Flush-behind data path: a tiny ring (overflow falls back to the
       // synchronous FreezeSink) drained by the background worker — or, in
-      // manual mode, only by pump_flush() and the helping drain.
-      auto forward = std::make_unique<ForwardSink>(&c->data_sink);
+      // manual mode, only by pump_flush() and the helping drain. With
+      // faults the retrying decorator sits worker-side, below the ring:
+      // retries and quarantine happen where the write-back executes.
+      std::unique_ptr<core::FlushSink> worker_sink =
+          std::make_unique<ForwardSink>(&c->data_sink);
+      if (injector_) {
+        worker_sink = std::make_unique<core::FaultTolerantSink>(
+            std::move(worker_sink), &c->faults, retry);
+      }
       c->flush_channel =
           config_.manual_pipeline
               ? core::FlushWorker::shared().open_manual_channel(
-                    std::move(forward), config_.flush_ring)
-              : core::FlushWorker::shared().open_channel(std::move(forward),
-                                                         config_.flush_ring);
-      c->async_sink = std::make_unique<core::AsyncFlushSink>(c->flush_channel,
-                                                             &c->data_sink);
+                    std::move(worker_sink), config_.flush_ring)
+              : core::FlushWorker::shared().open_channel(
+                    std::move(worker_sink), config_.flush_ring);
+      c->async_sink =
+          std::make_unique<core::AsyncFlushSink>(c->flush_channel, sync_data);
     }
     c->ordered = std::make_unique<core::LogOrderedSink>(
         c->async_sink ? static_cast<core::FlushSink*>(c->async_sink.get())
-                      : &c->data_sink,
+                      : sync_data,
         c->log.get());
+    if (injector_) {
+      c->ordered_sync =
+          std::make_unique<core::LogOrderedSink>(sync_data, c->log.get());
+    }
     contexts_.push_back(std::move(c));
   }
   counting_ = true;
@@ -122,21 +187,57 @@ CrashRig::CrashRig(const CrashRigConfig& config)
 
 CrashRig::~CrashRig() = default;
 
-void CrashRig::fase_begin(std::size_t ctx) {
-  Context& c = *contexts_[ctx];
-  if (c.fase_depth++ == 0) c.policy->on_fase_begin(*c.ordered);
+void CrashRig::maybe_degrade(Context& c) {
+  if (!injector_) return;
+  const bool trigger =
+      c.faults.quarantined_count() > 0 ||
+      c.faults.transients() >= config_.fault.degrade_after;
+  if (!trigger) return;
+  if (config_.async_flush && !c.flush_degraded) {
+    // Async→sync latch (mirrors Runtime): drain the ring so no line is
+    // stranded behind the reroute, then send all further traffic through
+    // the synchronous retrying path.
+    c.async_sink->drain();
+    c.flush_degraded = true;
+  }
+  if (config_.mode == runtime::LogSyncMode::kBatched && !c.log_degraded &&
+      c.log->mode() == runtime::LogSyncMode::kBatched) {
+    // Batched→strict latch: persist what is pending under the old
+    // discipline (best effort — a failure here surfaces as a transient
+    // and the per-record syncs retry the same range), then every record
+    // is durable before its pstore returns.
+    c.log->sync();
+    c.log->degrade_to_strict();
+    c.log_degraded = true;
+  }
 }
 
-void CrashRig::fase_end(std::size_t ctx) {
+void CrashRig::fase_begin(std::size_t ctx) {
+  Context& c = *contexts_[ctx];
+  if (c.fase_depth++ == 0) {
+    maybe_degrade(c);
+    c.policy->on_fase_begin(c.route());
+  }
+}
+
+bool CrashRig::fase_end(std::size_t ctx) {
   Context& c = *contexts_[ctx];
   NVC_REQUIRE(c.fase_depth > 0, "fase_end without matching fase_begin");
-  if (--c.fase_depth == 0) {
-    // Mirrors Runtime::fase_end: the policy flushes its buffered lines
-    // through the ordering decorator (log sync precedes each data flush),
-    // then the log commits — the FASE's atomic commit point.
-    c.policy->on_fase_end(*c.ordered);
-    c.log->commit();
+  if (--c.fase_depth != 0) return false;
+  // Mirrors Runtime::fase_end: the policy flushes its buffered lines
+  // through the ordering decorator (log sync precedes each data flush),
+  // then the log commits — the FASE's atomic commit point.
+  c.policy->on_fase_end(c.route());
+  if (c.commit_suspended) return false;
+  if (c.faults.quarantined_count() > 0) {
+    // A quarantined line means some write-back of this context is
+    // permanently lost. Committing would truncate the undo records that
+    // still cover the lost data; suspending commits instead pins recovery
+    // at the last good commit, preserving all-or-nothing.
+    c.commit_suspended = true;
+    return false;
   }
+  return c.log->commit();
 }
 
 void CrashRig::pstore(std::size_t ctx, PmAddr addr, const void* bytes,
@@ -145,6 +246,7 @@ void CrashRig::pstore(std::size_t ctx, PmAddr addr, const void* bytes,
   NVC_REQUIRE(addr + len <= data_bytes(), "pstore past region end");
   Context& c = *contexts_[ctx];
   NVC_REQUIRE(c.fase_depth > 0, "rig pstores must be inside a FASE");
+  const bool async_route = c.async_sink != nullptr && !c.flush_degraded;
   const PmAddr base = data_offset(ctx) + addr;
   // Log the old bytes before overwriting, in kMaxPayload pieces (mirrors
   // Runtime::pstore; the token is the shadow offset, so recovery stores
@@ -163,14 +265,19 @@ void CrashRig::pstore(std::size_t ctx, PmAddr addr, const void* bytes,
   }
   const LineAddr first = line_of(base);
   const LineAddr last = line_of(base + len - 1);
-  if (c.async_sink) {
+  if (async_route) {
     // Write-after-enqueue hazard (DESIGN.md §8, mirrors Runtime::pstore):
     // a touched line may still be queued, so its eventual write-back can
     // carry this store's bytes — the records covering them must be durable
     // before the data write below.
     for (LineAddr line = first; line <= last; ++line) {
       if (c.async_sink->maybe_inflight(line)) {
-        c.log->sync();
+        if (!c.log->sync()) {
+          // Records will not persist (log media failing): the queued
+          // write-back must not carry the new bytes either. Draining the
+          // ring retires it with the pre-store image before the memcpy.
+          c.async_sink->drain();
+        }
         break;
       }
     }
@@ -181,13 +288,13 @@ void CrashRig::pstore(std::size_t ctx, PmAddr addr, const void* bytes,
   }
   claim_event();
   for (LineAddr line = first; line <= last; ++line) {
-    c.policy->on_store(line, *c.ordered);
+    c.policy->on_store(line, c.route());
   }
 }
 
 void CrashRig::persist_barrier(std::size_t ctx) {
   Context& c = *contexts_[ctx];
-  c.policy->flush_buffered(*c.ordered);
+  c.policy->flush_buffered(c.route());
 }
 
 bool CrashRig::pump_flush(std::size_t ctx) {
@@ -198,6 +305,37 @@ bool CrashRig::pump_flush(std::size_t ctx) {
 bool CrashRig::pump_analysis(std::size_t ctx) {
   Context& c = *contexts_[ctx];
   return c.soft != nullptr && c.soft->pump_analysis();
+}
+
+void CrashRig::maybe_tear(LineAddr line, std::uint64_t event) {
+  // Only the write-back claiming the event right after the cut is truly
+  // racing the power failure. Restricting the tear to it is also what
+  // keeps recovery sound: everything that ordered before it — in
+  // particular the log sync the LogOrderedSink ran for a data line —
+  // claimed pre-freeze events and is durable, so the torn-in bytes are
+  // always covered by durable undo records (data) or self-certification
+  // (log). A later post-freeze flush has no such guarantee.
+  if (!injector_ || event != freeze_event_ + 1) return;
+  const std::size_t bytes = injector_->torn_bytes(line);
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
+  shadow_.flush_line_torn(line, bytes);
+}
+
+const core::FaultStats& CrashRig::fault_stats(std::size_t ctx) const {
+  return contexts_[ctx]->faults;
+}
+
+bool CrashRig::flush_degraded(std::size_t ctx) const {
+  return contexts_[ctx]->flush_degraded;
+}
+
+bool CrashRig::log_degraded(std::size_t ctx) const {
+  return contexts_[ctx]->log_degraded;
+}
+
+bool CrashRig::commit_suspended(std::size_t ctx) const {
+  return contexts_[ctx]->commit_suspended;
 }
 
 std::uint64_t CrashRig::claim_event() {
@@ -222,11 +360,23 @@ void CrashRig::recover_all() {
     if (c->flush_channel) c->flush_channel->wait_drained();
   }
   shadow_.crash();  // everything unflushed is gone
+  // The restarted machine gets fresh media behavior: recovery's own
+  // write-backs must not fail, or a crashed-again-during-recovery model
+  // would leak into every oracle check. (Testing recovery-time faults is a
+  // separate scenario, driven explicitly.)
+  shadow_.set_fault_injector(nullptr);
   LiveSink rsink(&shadow_, log_shift_);
   for (std::size_t i = 0; i < contexts_.size(); ++i) {
     runtime::UndoLog log(shadow_.volatile_base() + log_offset(i),
                          config_.log_bytes, &rsink, config_.mode);
-    NVC_REQUIRE(log.valid(), "log segment lost its format");
+    if (!log.valid()) {
+      // Stillborn context: its header line went bad before format() could
+      // persist. Sound, not silent data loss — every sync of this log
+      // failed, so the gating LogOrderedSink never let one of its data
+      // flushes through; the region's durable image is still all-initial.
+      NVC_REQUIRE(injector_ != nullptr, "log segment lost its format");
+      continue;
+    }
     if (log.needs_recovery()) {
       log.rollback(
           [&](std::uint64_t token, const void* payload, std::uint32_t len) {

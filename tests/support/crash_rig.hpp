@@ -39,9 +39,11 @@
 #include <mutex>
 #include <vector>
 
+#include "core/fault_sink.hpp"
 #include "core/flush_pipeline.hpp"
 #include "core/log_ordered_sink.hpp"
 #include "core/policy.hpp"
+#include "pmem/fault.hpp"
 #include "pmem/shadow.hpp"
 #include "runtime/undo_log.hpp"
 
@@ -68,6 +70,13 @@ struct CrashRigConfig {
   std::size_t log_bytes = 32u << 10;  // per-context log segment
   std::size_t cache_size = 2;  // tiny: mid-FASE evictions => many epochs
   std::size_t flush_ring = 8;  // small: overflow fallback gets exercised
+
+  /// Media-fault dimension: when enabled(), the rig owns a FaultInjector
+  /// attached to the shadow image, wraps every sink in FaultTolerantSink
+  /// (retry/quarantine with the config's RetryPolicy fields), mirrors the
+  /// runtime's degradation latches, and lets the write-back racing the
+  /// power cut land torn. Decisions derive from fault.seed, so runs replay.
+  pmem::FaultConfig fault;
   /// Online sampler knobs (scaled down so short scripts complete bursts).
   std::uint64_t burst_length = 48;
   std::uint64_t hibernation_length = 32;
@@ -84,7 +93,11 @@ class CrashRig {
   // --- script surface (mirrors the Runtime API) ----------------------------
 
   void fase_begin(std::size_t ctx = 0);
-  void fase_end(std::size_t ctx = 0);
+  /// Returns true when the outermost end committed the FASE durably; false
+  /// for inner ends, suspended commits (quarantine), and failed commits —
+  /// the caller's oracle bookkeeping must not advance its committed
+  /// snapshot on false.
+  bool fase_end(std::size_t ctx = 0);
 
   /// Instrumented persistent store of `len` bytes at byte offset `addr` of
   /// context `ctx`'s data region. Must be inside a FASE.
@@ -137,6 +150,17 @@ class CrashRig {
     return config_.data_lines * kCacheLineSize;
   }
 
+  // --- fault/health surface (mirrors runtime::HealthReport) ----------------
+
+  const pmem::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+  const core::FaultStats& fault_stats(std::size_t ctx = 0) const;
+  bool flush_degraded(std::size_t ctx = 0) const;
+  bool log_degraded(std::size_t ctx = 0) const;
+  bool commit_suspended(std::size_t ctx = 0) const;
+  std::uint64_t torn_flushes() const noexcept { return shadow_.torn_flushes(); }
+
  private:
   struct FreezeSink;
   struct ForwardSink;
@@ -153,6 +177,15 @@ class CrashRig {
   /// Claim the next event index (0 during pre-script setup, which cannot
   /// be frozen away).
   std::uint64_t claim_event();
+
+  /// Torn-write hook, called by FreezeSink for post-freeze flushes: the one
+  /// write-back truly racing the power cut (event index freeze+1 — any
+  /// later flush was issued by activity the cut already interrupted) may
+  /// persist a prefix of its line, per the injector's torn decision.
+  void maybe_tear(LineAddr line, std::uint64_t event);
+
+  /// Degradation latches, evaluated at the outermost fase_begin.
+  void maybe_degrade(Context& c);
   bool powered(std::uint64_t event) const noexcept {
     return event <= freeze_event_;
   }
@@ -165,6 +198,7 @@ class CrashRig {
 
   CrashRigConfig config_;
   pmem::ShadowPmem shadow_;
+  std::unique_ptr<pmem::FaultInjector> injector_;  // null when faults off
   LineAddr log_shift_;  // pointer-line -> shadow-offset-line translation
   bool counting_ = false;
   bool recovered_ = false;

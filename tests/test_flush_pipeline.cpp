@@ -22,9 +22,10 @@ namespace {
 /// Records every line it receives (mutex so worker and helper may both
 /// deliver); counts drains.
 struct RecordingSink final : FlushSink {
-  void flush_line(LineAddr line) override {
+  bool flush_line(LineAddr line) override {
     std::lock_guard<std::mutex> lock(mutex);
     lines.push_back(line);
+    return true;
   }
   void drain() override { ++drains; }
   std::vector<LineAddr> snapshot() const {
@@ -40,7 +41,7 @@ struct RecordingSink final : FlushSink {
 /// channel wants ownership; tests want to inspect).
 struct ForwardSink final : FlushSink {
   explicit ForwardSink(FlushSink* t) : target(t) {}
-  void flush_line(LineAddr line) override { target->flush_line(line); }
+  bool flush_line(LineAddr line) override { return target->flush_line(line); }
   void drain() override { target->drain(); }
   FlushSink* target;
 };
@@ -48,9 +49,9 @@ struct ForwardSink final : FlushSink {
 /// Sink whose flushes take a while — fills the ring faster than it drains.
 struct SlowSink final : FlushSink {
   explicit SlowSink(FlushSink* t) : target(t) {}
-  void flush_line(LineAddr line) override {
+  bool flush_line(LineAddr line) override {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
-    target->flush_line(line);
+    return target->flush_line(line);
   }
   FlushSink* target;
 };
@@ -146,9 +147,10 @@ TEST(AsyncFlushSink, LogSyncHappensAtEnqueueTime) {
   // LogOrderedSink wraps the async sink: the epoch-log sync must run on the
   // enqueuing thread before the line can enter the ring.
   struct CountingLog final : EpochLog {
-    void sync() override {
+    bool sync() override {
       ++syncs;
       thread = std::this_thread::get_id();
+      return true;
     }
     std::uint64_t syncs = 0;
     std::thread::id thread{};

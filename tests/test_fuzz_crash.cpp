@@ -271,6 +271,139 @@ INSTANTIATE_TEST_SUITE_P(AllModes, FuzzCrash, ::testing::ValuesIn(kAllModes),
                          });
 
 // --------------------------------------------------------------------------
+// The fault dimension: the same sweep under injected media faults.
+// --------------------------------------------------------------------------
+
+/// Fault campaign configuration: NVC_FAULT_* from the environment when the
+/// operator set any (the replay path — failure messages print the active
+/// fragment), otherwise defaults noisy enough that every failure class and
+/// every degradation latch fires somewhere in the campaign. The injector
+/// seed derives from the program seed so each iteration explores different
+/// fault placements yet replays bit-for-bit.
+pmem::FaultConfig fault_fuzz_config(std::uint64_t program_seed) {
+  pmem::FaultConfig fault = pmem::FaultConfig::from_env();
+  if (!fault.enabled()) {
+    fault.rate = 0.08;           // transient per-attempt failure probability
+    fault.bad_line_rate = 0.015; // permanently bad media lines
+    fault.torn_rate = 0.5;       // the crash-point write-back tears
+    fault.max_retries = 3;
+    fault.degrade_after = 4;
+  }
+  // Virtual time: a retry must not busy-wait on the fuzzing thread (with
+  // zero backoff a retry is just another deterministic attempt).
+  fault.backoff_ns = 0;
+  fault.backoff_cap_ns = 0;
+  if (env_str("NVC_FAULT_SEED", "").empty() &&
+      env_str("NVC_SEED", "").empty()) {
+    std::uint64_t sm = program_seed ^ 0xfa17c0defa17c0deULL;
+    fault.seed = splitmix64(sm);
+  }
+  return fault;
+}
+
+class FaultFuzzCrash : public ::testing::TestWithParam<FuzzMode> {};
+
+TEST_P(FaultFuzzCrash, DegradedRunsStillRecoverCommittedPrefixes) {
+  const FuzzMode mode = GetParam();
+  const std::string only = env_str("NVC_FUZZ_MODE", "");
+  if (!only.empty() && only != mode_name(mode)) {
+    GTEST_SKIP() << "NVC_FUZZ_MODE=" << only << " filters out this combo";
+  }
+
+  const SeedPlan plan = seed_plan(/*default_iters=*/4);
+  // Campaign aggregates: the defaults must actually exercise quarantine and
+  // the degradation latches, not just survive them (asserted below).
+  std::uint64_t quarantined = 0;
+  std::uint64_t flush_degrades = 0;
+  std::uint64_t log_degrades = 0;
+  std::uint64_t suspensions = 0;
+  for (std::uint64_t iter = 0; iter < plan.iters; ++iter) {
+    const std::uint64_t seed = plan.seed(iter);
+    const FuzzProgram program = generate_program(seed);
+    const DurabilityOracle oracle(program);
+    const pmem::FaultConfig fault = fault_fuzz_config(seed);
+    const std::string fault_env = fault.describe();
+
+    CrashRigConfig rig_config = fuzz_rig_config(program, mode);
+    rig_config.fault = fault;
+
+    // Probe run, never frozen: learns the event count and checks the
+    // no-crash contract under faults — commits may be suspended, so the
+    // recovered image matches SOME committed FASE of the context (not
+    // necessarily the last one, as in the fault-free sweep).
+    CrashRig probe(rig_config);
+    run_program(probe, program);
+    const std::uint64_t total = probe.events();
+    for (std::size_t c = 0; c < program.contexts; ++c) {
+      ASSERT_GE(oracle.match(c, probe.recovered_data(c)), 0)
+          << "ctx " << c << ": uninterrupted faulty run recovered a state "
+          << "matching no committed FASE\n  "
+          << fuzz_replay_line(seed, mode_name(mode), total, fault_env);
+      quarantined += probe.fault_stats(c).quarantined_count();
+      flush_degrades += probe.flush_degraded(c) ? 1 : 0;
+      log_degrades += probe.log_degraded(c) ? 1 : 0;
+      suspensions += probe.commit_suspended(c) ? 1 : 0;
+    }
+
+    std::vector<int> last_index(program.contexts, -1);
+    for (const std::uint64_t e : freeze_points(total, seed)) {
+      CrashRig rig(rig_config);
+      rig.freeze_at(e);
+      run_program(rig, program);
+      for (std::size_t c = 0; c < program.contexts; ++c) {
+        const std::vector<std::uint8_t> image = rig.recovered_data(c);
+        const int index = oracle.match(c, image);
+        ASSERT_GE(index, 0)
+            << "ctx " << c << ": crash at event " << e << "/" << total
+            << " under injected faults recovered a state matching no "
+            << "committed FASE\n  "
+            << fuzz_replay_line(seed, mode_name(mode), e, fault_env);
+        // Injector decisions are pure in (seed, line, attempt ordinal), so
+        // the pre-freeze execution — fault outcomes included — is identical
+        // at every freeze point and durability must still be monotone.
+        ASSERT_GE(index, last_index[c])
+            << "ctx " << c << ": durability regressed under faults — freeze "
+            << e << " recovered commit " << index << " after an earlier "
+            << "freeze had already reached " << last_index[c] << "\n  "
+            << fuzz_replay_line(seed, mode_name(mode), e, fault_env);
+        last_index[c] = index;
+      }
+    }
+  }
+
+  // Campaign-coverage asserts (deterministic: seeds derive from the fixed
+  // base). Skipped on pinned replays / operator overrides, where the
+  // campaign is deliberately partial.
+  const bool pinned = env_int("NVC_FUZZ_SEED", -1) >= 0 ||
+                      env_int("NVC_FUZZ_FREEZE", -1) >= 0 ||
+                      pmem::FaultConfig::from_env().enabled() ||
+                      !env_str("NVC_SEED", "").empty() ||
+                      env_int("NVC_FUZZ_ITERS", -1) >= 0;
+  if (pinned) return;
+  EXPECT_GT(quarantined, 0u)
+      << "fault campaign never quarantined a line; the bad-line rate no "
+      << "longer exercises retry exhaustion";
+  EXPECT_EQ(quarantined > 0, suspensions > 0)
+      << "quarantine and commit suspension must latch together";
+  if (mode.async_flush) {
+    EXPECT_GT(flush_degrades, 0u)
+        << "no context latched async->sync under a noisy medium";
+  }
+  if (mode.log == runtime::LogSyncMode::kBatched) {
+    EXPECT_GT(log_degrades, 0u)
+        << "no context latched batched->strict under a noisy medium";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, FaultFuzzCrash,
+                         ::testing::ValuesIn(kAllModes),
+                         [](const auto& param_info) {
+                           std::string name = mode_name(param_info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+// --------------------------------------------------------------------------
 // Differential oracle: the analyze/MRC/knee pipeline vs. brute force.
 // --------------------------------------------------------------------------
 

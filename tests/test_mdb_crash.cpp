@@ -87,9 +87,9 @@ class ShadowApi final : public workloads::PersistApi {
   class Sink final : public core::FlushSink {
    public:
     explicit Sink(ShadowApi* owner) : owner_(owner) {}
-    void flush_line(LineAddr line) override {
-      if (owner_->events_ >= owner_->freeze_event_) return;  // power is off
-      owner_->shadow_.flush_line(line);
+    bool flush_line(LineAddr line) override {
+      if (owner_->events_ >= owner_->freeze_event_) return true;  // power off
+      return owner_->shadow_.flush_line(line);
     }
 
    private:

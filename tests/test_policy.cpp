@@ -16,7 +16,10 @@ namespace {
 
 class RecordingSink final : public FlushSink {
  public:
-  void flush_line(LineAddr line) override { flushed.push_back(line); }
+  bool flush_line(LineAddr line) override {
+    flushed.push_back(line);
+    return true;
+  }
   void drain() override { ++drains; }
   std::vector<LineAddr> flushed;
   int drains = 0;
@@ -303,7 +306,7 @@ TEST(PolicyNames, AllSixNamed) {
 class ShadowSink final : public FlushSink {
  public:
   explicit ShadowSink(pmem::ShadowPmem* mem) : mem_(mem) {}
-  void flush_line(LineAddr line) override { mem_->flush_line(line); }
+  bool flush_line(LineAddr line) override { return mem_->flush_line(line); }
 
  private:
   pmem::ShadowPmem* mem_;

@@ -15,7 +15,10 @@ namespace {
 /// Sink that remembers the order of flushed lines.
 class RecordingSink final : public FlushSink {
  public:
-  void flush_line(LineAddr line) override { flushed.push_back(line); }
+  bool flush_line(LineAddr line) override {
+    flushed.push_back(line);
+    return true;
+  }
   std::vector<LineAddr> flushed;
 };
 
