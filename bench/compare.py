@@ -2,7 +2,7 @@
 """Compare a micro_gbench JSON run against the committed baseline.
 
 Usage:
-    bench/compare.py [current.json] [baseline.json]
+    bench/compare.py [--threads-noise F] [current.json] [baseline.json]
         current  defaults to BENCH_micro.json (micro_gbench's default output)
         baseline defaults to bench/BENCH_micro.baseline.json
 
@@ -36,6 +36,14 @@ on an 8 ns ring-push micro is below this host's measurement noise, not a
 regression. Counters (flushes, fences, ...) are carried through to the
 report for context but are not gated: they are exact re-runnable
 invariants covered by the test suite, while wall-clock needs slack.
+
+Multi-threaded families (google-benchmark "threads" field > 1 — the
+pool-size sweeps of BM_FlushPipelineDrainPool and friends) swing far more
+than single-threaded micros on a shared host: N timed threads multiplex
+over whatever cores the container actually grants, so scheduler placement
+shifts whole configurations by 2x. `--threads-noise F` (or
+NVC_BENCH_THREADS_NOISE) widens the tolerance to F for exactly those
+entries, leaving single-threaded gating tight (default 0.75).
 
 Exit codes: 0 = no regression, 1 = at least one gated regression,
 2 = the gate could not run (bad usage, missing or malformed input file).
@@ -100,10 +108,27 @@ def main(argv):
             print("usage: compare.py --merge <out.json> <run.json>...")
             return 2
         return merge(argv[2], argv[3:])
-    current_path = argv[1] if len(argv) > 1 else "BENCH_micro.json"
+    threads_noise = float(os.environ.get("NVC_BENCH_THREADS_NOISE", "0.75"))
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--threads-noise":
+            if i + 1 >= len(argv):
+                print("usage: compare.py --threads-noise <float> ...")
+                return 2
+            try:
+                threads_noise = float(argv[i + 1])
+            except ValueError:
+                print("compare.py: bad --threads-noise value: %s" % argv[i + 1])
+                return 2
+            i += 2
+            continue
+        args.append(argv[i])
+        i += 1
+    current_path = args[0] if len(args) > 0 else "BENCH_micro.json"
     baseline_path = (
-        argv[2]
-        if len(argv) > 2
+        args[1]
+        if len(args) > 1
         else os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "BENCH_micro.baseline.json")
     )
@@ -139,8 +164,14 @@ def main(argv):
         ratio = cur_t / base_t if base_t > 0 else 1.0
         delta_ns = (cur_t - base_t) * to_ns.get(base.get("time_unit", "ns"),
                                                 1.0)
+        # Multi-threaded entries get the wider threads-noise envelope; the
+        # baseline's thread count decides (both sides should agree, and the
+        # baseline is the committed contract).
+        gate = tolerance
+        if base.get("threads", 1) > 1 or cur.get("threads", 1) > 1:
+            gate = max(tolerance, threads_noise)
         status = "OK"
-        if (base_t > 0 and cur_t > base_t * (1.0 + tolerance)
+        if (base_t > 0 and cur_t > base_t * (1.0 + gate)
                 and delta_ns > min_delta_ns):
             status = "REGRESSED"
             regressions.append((name, ratio))

@@ -5,8 +5,10 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.hpp"
@@ -412,6 +414,113 @@ void BM_FlushPipelineFase(benchmark::State& state) {
 }
 BENCHMARK(BM_FlushPipelineFase)->Arg(0)->Arg(1);
 
+// --- worker pools (DESIGN.md §11) -------------------------------------------
+
+/// Shared-fixture handshake for the multi-threaded pool benchmarks: thread 0
+/// publishes the pool, every thread spins for it, and the last thread out
+/// tears it down (google-benchmark joins all threads between runs, so the
+/// statics cycle cleanly run to run).
+template <typename Pool>
+Pool* await_pool(benchmark::State& state, std::atomic<Pool*>& slot,
+                 std::size_t pool_size) {
+  if (state.thread_index() == 0) {
+    slot.store(new Pool(pool_size), std::memory_order_release);
+  }
+  Pool* pool;
+  while ((pool = slot.load(std::memory_order_acquire)) == nullptr) {
+    std::this_thread::yield();
+  }
+  return pool;
+}
+
+void BM_FlushPipelineDrainPool(benchmark::State& state) {
+  // N app threads (one flush channel each, ->Threads axis) against an
+  // M-worker pool (Arg axis): each iteration pushes a burst of 64 lines and
+  // drains. With M=1 this is the pre-pool pipeline; larger M engages homed
+  // sweeps plus stealing, and the counter reports how much stealing the run
+  // actually saw. The gate compares these entries under --threads-noise.
+  static std::atomic<FlushWorker*> shared_pool{nullptr};
+  static std::atomic<int> done_threads{0};
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  if (state.thread_index() == 0) done_threads.store(0);
+  FlushWorker* pool = await_pool(state, shared_pool, workers);
+  auto channel = pool->open_channel(std::make_unique<CountingSink>(), 256);
+  constexpr int kBurst = 64;
+  LineAddr next = static_cast<LineAddr>(state.thread_index() + 1) << 32;
+  for (auto _ : state) {
+    for (int i = 0; i < kBurst; ++i) {
+      ++next;
+      while (!channel->try_push(next)) {
+        channel->request_wake();
+        std::this_thread::yield();
+      }
+    }
+    channel->request_wake();
+    channel->wait_drained();
+  }
+  channel->close();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBurst);
+  if (done_threads.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      state.threads()) {
+    state.counters["steals"] =
+        benchmark::Counter(static_cast<double>(pool->steals()));
+    state.counters["worker_flushes"] =
+        benchmark::Counter(static_cast<double>(pool->worker_flushes()));
+    delete pool;
+    shared_pool.store(nullptr, std::memory_order_release);
+  }
+}
+BENCHMARK(BM_FlushPipelineDrainPool)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(32)
+    ->Threads(64)
+    ->UseRealTime();
+
+void BM_AnalysisPoolDrain(benchmark::State& state) {
+  // Same shape for the analysis pool: N producer threads each submit one
+  // 4 KiB renamed burst per iteration and drain. Analyses are the unit of
+  // stealing here (ms-scale jobs, so the per-channel consumer lock is held
+  // across each one).
+  static std::atomic<AnalysisWorker*> shared_pool{nullptr};
+  static std::atomic<int> done_threads{0};
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  if (state.thread_index() == 0) done_threads.store(0);
+  AnalysisWorker* pool = await_pool(state, shared_pool, workers);
+  auto channel = pool->open_channel();
+  const auto burst = random_trace(4096, 256);
+  KneeConfig knee;
+  knee.max_size = 1 << 8;
+  for (auto _ : state) {
+    std::vector<LineAddr> copy = burst;
+    if (!channel->submit(std::move(copy), knee)) {
+      benchmark::DoNotOptimize(analyze_burst(burst, knee));  // ring full
+    }
+    channel->drain();
+  }
+  channel->close();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (done_threads.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      state.threads()) {
+    state.counters["steals"] =
+        benchmark::Counter(static_cast<double>(pool->steals()));
+    delete pool;
+    shared_pool.store(nullptr, std::memory_order_release);
+  }
+}
+BENCHMARK(BM_AnalysisPoolDrain)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(32)
+    ->UseRealTime();
+
 void BM_FaseNoop(benchmark::State& state) {
   // An empty begin/end pair: isolates the per-FASE constant (two context
   // lookups + policy boundary calls), the cost the thread-local fast path
@@ -454,16 +563,20 @@ BENCHMARK(BM_FlushInstruction)
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): when NVC_BENCH_JSON names a file
-// (default BENCH_micro.json; empty string disables), results are written
-// there as google-benchmark JSON — name, real/cpu time, and the flush/fence
-// counters — alongside the normal console output. The committed
-// bench/BENCH_micro.baseline.json was produced this way, and
-// bench/compare.py diffs a fresh run against it. Implemented by injecting
-// --benchmark_out flags so an explicit flag on the command line still wins.
+// (default: BENCH_micro.json at the repo root, baked in at configure time;
+// empty string disables), results are written there as google-benchmark
+// JSON — name, real/cpu time, and the flush/fence counters — alongside the
+// normal console output. The committed bench/BENCH_micro.baseline.json was
+// produced this way, and bench/compare.py diffs a fresh run against it.
+// Implemented by injecting --benchmark_out flags so an explicit flag on the
+// command line still wins.
+#ifndef NVC_BENCH_DEFAULT_JSON
+#define NVC_BENCH_DEFAULT_JSON "BENCH_micro.json"
+#endif
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   const std::string json_path =
-      nvc::env_str("NVC_BENCH_JSON", "BENCH_micro.json");
+      nvc::env_str("NVC_BENCH_JSON", NVC_BENCH_DEFAULT_JSON);
   std::string out_flag = "--benchmark_out=" + json_path;
   std::string format_flag = "--benchmark_out_format=json";
   bool has_out_flag = false;

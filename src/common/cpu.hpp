@@ -1,5 +1,10 @@
-// Runtime CPU feature detection for the persistent-memory flush instructions.
+// Runtime CPU feature detection for the persistent-memory flush instructions,
+// plus a cached core/NUMA topology probe used for worker-pool sizing and
+// placement.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 namespace nvc {
 
@@ -11,5 +16,30 @@ struct CpuFeatures {
 
 /// Detect flush-instruction support via CPUID (cached after first call).
 const CpuFeatures& cpu_features();
+
+/// Core/NUMA map, probed once (sysfs on Linux, hardware_concurrency
+/// fallback elsewhere). Cheap to copy around: a handful of ints plus one
+/// cpu->node vector.
+struct CpuTopology {
+  int logical_cpus = 1;           // online logical CPUs, always >= 1
+  int numa_nodes = 1;             // online NUMA nodes, always >= 1
+  std::vector<int> cpu_node;      // cpu_node[cpu] = NUMA node (size logical_cpus)
+
+  /// CPUs living on `node` (ascending). Empty only for an invalid node.
+  std::vector<int> cpus_on_node(int node) const;
+  /// True when more than one logical CPU is online — the only question the
+  /// drain spin-vs-yield heuristic needs.
+  bool can_spin() const { return logical_cpus > 1; }
+};
+
+/// The topology, probed on first call and cached for the process lifetime
+/// (hot paths like the drain watchdog must not re-query sysfs or
+/// std::thread::hardware_concurrency per decision).
+const CpuTopology& cpu_topology();
+
+/// Pin the calling thread to one logical CPU. Returns false (and leaves the
+/// affinity untouched) when pinning is unsupported or rejected — callers
+/// treat pinning as a hint, never a requirement.
+bool pin_thread_to_cpu(int cpu);
 
 }  // namespace nvc

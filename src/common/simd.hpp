@@ -1,0 +1,100 @@
+// Compile-time SIMD dispatch for the analysis kernels (PR 7).
+//
+// The hot analysis loops (reuse/footprint accumulation, SHARDS spatial
+// hashing) get AVX2 paths guarded by a scalar fallback chosen at compile
+// time: __AVX2__ is set by -march=native (NVC_NATIVE=ON, the default) on
+// hosts that have it, and NVC_NO_SIMD=ON forces the scalar path everywhere
+// for differential testing. There is deliberately no runtime dispatch —
+// per-call branching would cost more than these short kernels, and the
+// binary already targets the build host.
+//
+// Bit-exactness contract: every vector path here must produce bit-identical
+// results to its scalar fallback. The double-precision kernels only ever
+// add/subtract integer-valued doubles (interval counts, gap counts) whose
+// magnitudes stay far below 2^53, so reassociating the additions across
+// lanes is exact, and the final divisions use operand-for-operand the same
+// values as the scalar loop. The integer kernels (splitmix64) are plain
+// modular arithmetic, lane-for-lane identical. Tests assert equality with
+// EXPECT_DOUBLE_EQ, not tolerances, and the crash fuzzer's byte-identical
+// replay oracle would catch any divergence that slipped through.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__AVX2__) && !defined(NVC_NO_SIMD)
+#define NVC_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define NVC_SIMD_AVX2 0
+#endif
+
+namespace nvc {
+
+/// Which kernel flavor this binary compiled in (diagnostics, bench labels).
+inline constexpr const char* simd_backend() noexcept {
+#if NVC_SIMD_AVX2
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+#if NVC_SIMD_AVX2
+
+namespace simd {
+
+/// [0, a0, a1, a2]: shift doubles up one lane, zero-filling lane 0.
+inline __m256d shift_up1_pd(__m256d a) noexcept {
+  const __m256d rot = _mm256_permute4x64_pd(a, _MM_SHUFFLE(2, 1, 0, 0));
+  return _mm256_blend_pd(rot, _mm256_setzero_pd(), 0x1);
+}
+
+/// [0, 0, a0, a1]: shift doubles up two lanes, zero-filling lanes 0-1.
+inline __m256d shift_up2_pd(__m256d a) noexcept {
+  const __m256d rot = _mm256_permute4x64_pd(a, _MM_SHUFFLE(1, 0, 0, 0));
+  return _mm256_blend_pd(rot, _mm256_setzero_pd(), 0x3);
+}
+
+/// In-register inclusive prefix sum: [a0, a0+a1, a0+a1+a2, a0+a1+a2+a3].
+/// Exact for integer-valued doubles (addition of exactly representable
+/// integers below 2^53 is associative).
+inline __m256d prefix_sum_pd(__m256d a) noexcept {
+  a = _mm256_add_pd(a, shift_up1_pd(a));
+  return _mm256_add_pd(a, shift_up2_pd(a));
+}
+
+/// 64-bit lane-wise multiply (AVX2 has no _mm256_mullo_epi64): decompose
+/// each 64-bit product into three 32x32 partials; the high*high partial
+/// only feeds bits >= 64 and is dropped.
+inline __m256i mullo_epi64(__m256i a, __m256i b) noexcept {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo_lo = _mm256_mul_epu32(a, b);       // a_lo * b_lo
+  const __m256i a_hi_b = _mm256_mul_epu32(a_hi, b);   // a_hi * b_lo
+  const __m256i a_b_hi = _mm256_mul_epu32(a, b_hi);   // a_lo * b_hi
+  const __m256i cross = _mm256_add_epi64(a_hi_b, a_b_hi);
+  return _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Four independent splitmix64 mixes: out[i] = mix(in[i] + 0x9e37...).
+/// Matches nvc::splitmix64 (rng.hpp) lane for lane.
+inline __m256i splitmix64x4(__m256i x) noexcept {
+  const __m256i gamma = _mm256_set1_epi64x(
+      static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m256i mul1 = _mm256_set1_epi64x(
+      static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i mul2 = _mm256_set1_epi64x(
+      static_cast<long long>(0x94d049bb133111ebULL));
+  __m256i z = _mm256_add_epi64(x, gamma);
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+  z = mullo_epi64(z, mul1);
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+  z = mullo_epi64(z, mul2);
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+}  // namespace simd
+
+#endif  // NVC_SIMD_AVX2
+
+}  // namespace nvc

@@ -5,7 +5,9 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "common/cpu.hpp"
 #include "common/env.hpp"
+#include "core/thread_groups.hpp"
 
 namespace nvc::core {
 
@@ -35,6 +37,19 @@ std::uint64_t steady_now_ns() noexcept {
           .count());
 }
 
+/// Pool size from the environment: default 1 (the original single-worker
+/// pipeline, bit-for-bit), 0 = auto (one worker per NUMA node — "Writes
+/// Hurt" rewards few batched issue streams per device, and one stream per
+/// node keeps write-backs node-local), clamped to [1, kMaxPool].
+std::size_t pool_size_from_env(const char* name) {
+  const std::int64_t requested = env_int(name, 1);
+  if (requested <= 0) {
+    return static_cast<std::size_t>(std::max(1, cpu_topology().numa_nodes));
+  }
+  return static_cast<std::size_t>(std::min<std::int64_t>(
+      requested, static_cast<std::int64_t>(FlushWorker::kMaxPool)));
+}
+
 }  // namespace
 
 // --- FlushChannel -----------------------------------------------------------
@@ -56,7 +71,7 @@ bool FlushChannel::try_push(LineAddr line) {
   return true;
 }
 
-bool FlushChannel::consume_one() {
+bool FlushChannel::consume_one(std::uint32_t consumer) {
   if (consume_lock_.test_and_set(std::memory_order_acquire)) {
     return false;  // the other side holds the lock and is making progress
   }
@@ -70,6 +85,7 @@ bool FlushChannel::consume_one() {
     // also sees the quarantine.
     sink_->flush_line(*line);
     last_flush_thread_ = std::this_thread::get_id();
+    last_flush_worker_ = consumer;
     flushed_.fetch_add(1, std::memory_order_release);
   }
   consume_lock_.clear(std::memory_order_release);
@@ -79,7 +95,7 @@ bool FlushChannel::consume_one() {
 void FlushChannel::request_wake() {
   if (manual_) return;  // no worker serves this channel
   if (!wake_requested_.exchange(true, std::memory_order_relaxed)) {
-    worker_->poke();
+    worker_->poke_home(home_);
   }
 }
 
@@ -104,12 +120,23 @@ void FlushChannel::wait_drained() {
       }
       if (done != 0) {
         last_flush_thread_ = std::this_thread::get_id();
+        last_flush_worker_ = kHelperConsumer;
         flushed_.fetch_add(done, std::memory_order_release);
       }
       consume_lock_.clear(std::memory_order_release);
-      if (done == 0) std::this_thread::yield();
+      if (done == 0) {
+        // Our ring is empty but the ticket is short: a consumer is mid-
+        // flush on our last line. In a pool, spend the wait stealing a
+        // sibling channel's backlog instead of just yielding (manual
+        // channels never steal — a fuzzer schedule must not leak work
+        // across channels it did not script).
+        if (manual_ || worker_ == nullptr || worker_->pool_size() <= 1 ||
+            !worker_->steal_one(this)) {
+          std::this_thread::yield();
+        }
+      }
     } else {
-      // The worker holds the consumer side and is mid-flush on our behalf;
+      // A worker holds the consumer side and is mid-flush on our behalf;
       // yield so a descheduled worker (single-core host) gets the timeslice
       // it needs to finish.
       std::this_thread::yield();
@@ -141,10 +168,31 @@ void FlushChannel::wait_drained() {
 
 // --- FlushWorker ------------------------------------------------------------
 
-FlushWorker::FlushWorker()
-    : thread_([this](std::stop_token st) { run(st); }) {}
+FlushWorker::FlushWorker() : FlushWorker(pool_size_from_env("NVC_FLUSH_WORKERS")) {}
 
-FlushWorker::~FlushWorker() = default;  // jthread stops and joins
+FlushWorker::FlushWorker(std::size_t pool_size)
+    : pin_(env_int("NVC_PIN", 0) != 0) {
+  NVC_REQUIRE(pool_size >= 1 && pool_size <= kMaxPool);
+  worker_cpu_ = place_workers(pool_size, cpu_topology()).worker_cpu;
+  workers_.reserve(pool_size);
+  for (std::size_t w = 0; w < pool_size; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  start();  // threads only start once workers_ is fully built
+}
+
+void FlushWorker::start() {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->thread =
+        std::jthread([this, w](std::stop_token st) { run(st, w); });
+  }
+}
+
+FlushWorker::~FlushWorker() {
+  // Request every stop before the first join so pool shutdown overlaps
+  // instead of paying one doze tick per worker serially.
+  for (auto& w : workers_) w->thread.request_stop();
+}  // workers_ (last member) joins; the rest is destroyed after
 
 FlushWorker& FlushWorker::shared() {
   static FlushWorker worker;
@@ -158,6 +206,12 @@ std::shared_ptr<FlushChannel> FlushWorker::open_channel(
   std::shared_ptr<FlushChannel> channel(
       new FlushChannel(this, std::move(sink), capacity, /*manual=*/false));
   std::lock_guard<std::mutex> lock(mutex_);
+  // Round-robin homes: channels arrive dynamically (one per runtime
+  // thread), so the static block distribution of place_shards does not
+  // apply; round-robin gives the same ±1 balance without knowing the final
+  // producer count.
+  channel->home_ = static_cast<std::uint32_t>(next_home_);
+  next_home_ = (next_home_ + 1) % workers_.size();
   channels_.push_back(channel);
   return channel;
 }
@@ -166,9 +220,9 @@ std::shared_ptr<FlushChannel> FlushWorker::open_manual_channel(
     std::unique_ptr<FlushSink> sink, std::size_t capacity) {
   NVC_REQUIRE(sink != nullptr);
   NVC_REQUIRE(is_pow2(capacity), "flush queue depth must be a power of two");
-  // Deliberately NOT registered in channels_: the worker thread never sees
-  // it, so the only consumers are pump_one() calls and helping drains —
-  // both on the owner's thread, both deterministic.
+  // Deliberately NOT registered in channels_: no pool thread ever sees it,
+  // so the only consumers are pump_one() calls and helping drains — both on
+  // the owner's thread, both deterministic regardless of pool size.
   return std::shared_ptr<FlushChannel>(
       new FlushChannel(this, std::move(sink), capacity, /*manual=*/true));
 }
@@ -176,41 +230,87 @@ std::shared_ptr<FlushChannel> FlushWorker::open_manual_channel(
 void FlushWorker::poke() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    poked_ = true;
+    for (auto& w : workers_) w->poked = true;
   }
-  cv_.notify_one();
+  for (auto& w : workers_) w->cv.notify_one();
+}
+
+void FlushWorker::poke_home(std::size_t w) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers_[w]->poked = true;
+  }
+  workers_[w]->cv.notify_one();
+}
+
+bool FlushWorker::steal_one(const FlushChannel* self) {
+  std::vector<std::shared_ptr<FlushChannel>> channels;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    channels = channels_;
+  }
+  for (const auto& ch : channels) {
+    if (ch.get() == self || ch->queue_.empty()) continue;
+    if (ch->consume_one(FlushChannel::kHelperConsumer)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::size_t FlushWorker::sweep(
-    const std::vector<std::shared_ptr<FlushChannel>>& channels) {
+    std::size_t w, const std::vector<std::shared_ptr<FlushChannel>>& channels) {
+  const std::uint32_t me = static_cast<std::uint32_t>(w);
   std::size_t total = 0;
   for (const auto& ch : channels) {
+    if (ch->home_ != me) continue;
     ch->wake_requested_.store(false, std::memory_order_relaxed);
-    while (ch->consume_one()) ++total;
+    while (ch->consume_one(me)) ++total;
+  }
+  // Idle worker: help any sibling's backlog. Same per-channel consumer
+  // spinlock as the home worker, so retirement stays exactly-once and each
+  // ring stays FIFO; the home worker finding its ring already empty is the
+  // intended outcome, not a race.
+  if (total == 0 && workers_.size() > 1) {
+    std::size_t stolen = 0;
+    for (const auto& ch : channels) {
+      if (ch->home_ == me || ch->queue_.empty()) continue;
+      while (ch->consume_one(me)) ++stolen;
+    }
+    if (stolen != 0) {
+      steals_.fetch_add(stolen, std::memory_order_relaxed);
+      total += stolen;
+    }
   }
   if (total != 0) worker_flushes_.fetch_add(total, std::memory_order_relaxed);
   return total;
 }
 
-void FlushWorker::run(std::stop_token st) {
+void FlushWorker::run(std::stop_token st, std::size_t w) {
+  // Placement is a hint: pinning only under NVC_PIN, and failure to pin is
+  // silently tolerated (containers often mask CPUs out of the affinity set).
+  if (pin_) pin_thread_to_cpu(worker_cpu_[w]);
   // On a single-core host the post-work spin below would only steal the
   // producer's timeslice; drain()'s helping consumer covers latency there.
-  const bool can_spin = std::thread::hardware_concurrency() > 1;
+  // The topology probe is cached process-wide — no per-decision re-query.
+  const bool can_spin = cpu_topology().can_spin();
 
+  Worker& self = *workers_[w];
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     // Doze: wake on the periodic tick, an explicit poke, or stop. A plain
     // timeout (predicate false) still sweeps — the tick is the default
     // delivery mechanism; pokes only accelerate watermark crossings.
-    cv_.wait_for(lock, st, kDozeTick, [&] { return poked_; });
-    poked_ = false;
+    self.cv.wait_for(lock, st, kDozeTick, [&] { return self.poked; });
+    self.poked = false;
     std::vector<std::shared_ptr<FlushChannel>> channels = channels_;
     lock.unlock();
 
     if (can_spin) {
       auto last_work = std::chrono::steady_clock::now();
       while (!st.stop_requested()) {
-        if (sweep(channels) != 0) {
+        if (sweep(w, channels) != 0) {
           last_work = std::chrono::steady_clock::now();
         } else if (std::chrono::steady_clock::now() - last_work >
                    kSpinWindow) {
@@ -220,7 +320,7 @@ void FlushWorker::run(std::stop_token st) {
         }
       }
     } else {
-      sweep(channels);
+      sweep(w, channels);
     }
 
     lock.lock();

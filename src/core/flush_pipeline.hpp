@@ -111,7 +111,12 @@ class FlushChannel {
   /// consumer lock, so it is safe on any channel — but it exists for
   /// *manual* channels (open_manual_channel), where a deterministic test
   /// scheduler is the only consumer and interleavings replay from a seed.
-  bool pump_one() { return consume_one(); }
+  /// `worker` is the *virtual* worker identity the scheduler is simulating
+  /// (recorded as last_flush_worker(); no pool thread is involved), so a
+  /// fuzzer schedule can model an M-worker pool without one.
+  bool pump_one(std::size_t worker = 0) {
+    return consume_one(static_cast<std::uint32_t>(worker));
+  }
 
   /// True for channels the background worker never sweeps (deterministic
   /// test channels; see FlushWorker::open_manual_channel).
@@ -128,6 +133,20 @@ class FlushChannel {
     return last_flush_thread_;
   }
 
+  /// Consumer identity recorded by pump_one / the pool sweep when nothing
+  /// pool-threaded did the work (helping producer in wait_drained, or a
+  /// steal by a non-home worker reported as the stealing worker's index).
+  static constexpr std::uint32_t kHelperConsumer = 0xffffffffu;
+
+  /// Pool-worker index (or kHelperConsumer) that performed the most recent
+  /// write-back. Test hook; read when idle.
+  std::uint32_t last_flush_worker() const noexcept {
+    return last_flush_worker_;
+  }
+
+  /// Home pool worker serving this channel (0 for manual channels).
+  std::uint32_t home() const noexcept { return home_; }
+
  private:
   friend class FlushWorker;
 
@@ -136,8 +155,9 @@ class FlushChannel {
 
   /// Pop and flush one line if any is ready. Returns false when the ring
   /// was empty or another thread holds the consumer side right now (it is
-  /// making progress on our behalf either way).
-  bool consume_one();
+  /// making progress on our behalf either way). `consumer` is recorded as
+  /// last_flush_worker() on success.
+  bool consume_one(std::uint32_t consumer = kHelperConsumer);
 
   FlushWorker* worker_;
   std::unique_ptr<FlushSink> sink_;  // worker-side write-back target
@@ -158,36 +178,59 @@ class FlushChannel {
   /// cleared by the worker's sweep. Keeps poke() amortized O(1) per burst
   /// of evictions instead of one mutex round-trip per push.
   std::atomic<bool> wake_requested_{false};
-  /// Serializes the consumer side (worker sweep vs. helping producer).
-  /// Held only around one pop + one flush_line; uncontended cost is a
-  /// single RMW each way.
+  /// Serializes the consumer side (worker sweep, stealing worker, helping
+  /// producer). Held only around one pop + one flush_line; uncontended cost
+  /// is a single RMW each way.
   std::atomic_flag consume_lock_ = ATOMIC_FLAG_INIT;
   std::thread::id last_flush_thread_{};  // written under consume_lock_
+  std::uint32_t last_flush_worker_ = kHelperConsumer;  // under consume_lock_
+  /// Index of the pool worker that sweeps this channel (round-robin over
+  /// the pool at open time; constant afterwards). Manual channels keep 0
+  /// but are never registered with any worker.
+  std::uint32_t home_ = 0;
 };
 
-/// The shared background flusher: one std::jthread serving every channel.
-/// Scheduling is doze-based — the worker sleeps in ~200 µs ticks and sweeps
-/// all channels on each wake; producers only pay a condition-variable poke
-/// when a ring crosses its high watermark (sustained eviction storm). No
-/// per-push notify: a futex wake costs more than the flush it would hide,
-/// and drain()'s helping consumer already bounds the worst-case latency.
+/// The shared background flusher, generalized to a sized pool: N jthreads
+/// (NVC_FLUSH_WORKERS, default 1 = the original single-worker behavior),
+/// each the *home* of a subset of channels assigned round-robin at open
+/// time. Scheduling is doze-based — each worker sleeps in ~200 µs ticks and
+/// sweeps its home channels on each wake; producers only pay a
+/// condition-variable poke to the home worker when a ring crosses its high
+/// watermark (sustained eviction storm). No per-push notify: a futex wake
+/// costs more than the flush it would hide, and drain()'s helping consumer
+/// already bounds the worst-case latency.
+///
+/// Work stealing: a worker whose own sweep came up empty helps pop any
+/// other channel's ring, and a producer blocked in wait_drained() while the
+/// consumer lock is held steals from sibling channels rather than just
+/// yielding. Both go through the same per-channel consumer spinlock as the
+/// home worker, so exactly-once retirement and per-channel FIFO order are
+/// preserved no matter who pops (DESIGN.md §11 for the full argument).
+/// Manual channels are invisible to every pool thread, so pool size cannot
+/// perturb a deterministic fuzzer schedule.
 class FlushWorker {
  public:
+  /// Pool size from NVC_FLUSH_WORKERS (default 1; 0 = one per NUMA node;
+  /// clamped to [1, kMaxPool]). NVC_PIN=1 pins each worker to its
+  /// topology-placed CPU (see core::place_workers).
   FlushWorker();
+  /// Fixed pool size (tests / benchmarks); env is ignored except NVC_PIN.
+  explicit FlushWorker(std::size_t pool_size);
   ~FlushWorker();
 
   FlushWorker(const FlushWorker&) = delete;
   FlushWorker& operator=(const FlushWorker&) = delete;
 
-  /// The process-wide worker used by async runtimes.
+  /// The process-wide pool used by async runtimes (sized from the
+  /// environment at first use).
   static FlushWorker& shared();
 
-  /// Open a producer channel served by this worker. The channel owns
-  /// `sink`; `capacity` must be a power of two.
+  /// Open a producer channel homed on the next pool worker (round-robin).
+  /// The channel owns `sink`; `capacity` must be a power of two.
   std::shared_ptr<FlushChannel> open_channel(std::unique_ptr<FlushSink> sink,
                                              std::size_t capacity);
 
-  /// Open a channel this worker will NEVER sweep: write-backs happen only
+  /// Open a channel NO pool worker will ever sweep: write-backs happen only
   /// when the owner calls FlushChannel::pump_one() or a drain helps. The
   /// crash fuzzer uses this to explore worker/application interleavings
   /// deterministically from a seed (a virtual scheduler decides when the
@@ -195,30 +238,57 @@ class FlushWorker {
   std::shared_ptr<FlushChannel> open_manual_channel(
       std::unique_ptr<FlushSink> sink, std::size_t capacity);
 
-  /// Wake the worker now (high-watermark push, tests).
+  /// Wake every pool worker now (tests, shutdown nudge). Watermark pokes
+  /// from producers go to the channel's home worker only.
   void poke();
 
-  /// Write-backs performed by the worker thread itself (not by helping
-  /// producers; test/diagnostic hook).
+  /// Number of pool threads (>= 1).
+  std::size_t pool_size() const noexcept { return workers_.size(); }
+
+  /// Write-backs performed by pool threads (home sweeps and steals, not
+  /// helping producers; test/diagnostic hook).
   std::uint64_t worker_flushes() const noexcept {
     return worker_flushes_.load(std::memory_order_relaxed);
   }
 
+  /// Lines retired by a consumer other than the channel's home worker: an
+  /// idle worker's steal sweep or a drain()-blocked producer helping a
+  /// sibling channel. Diagnostic; proves the stealing path engaged.
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
   static constexpr std::size_t kDefaultQueueDepth = 1024;
+  static constexpr std::size_t kMaxPool = 64;
 
  private:
   friend class FlushChannel;
 
-  void run(std::stop_token st);
-  std::size_t sweep(
-      const std::vector<std::shared_ptr<FlushChannel>>& channels);
+  struct Worker {
+    std::condition_variable_any cv;
+    bool poked = false;         // guarded by FlushWorker::mutex_
+    std::jthread thread;        // started after every Worker exists
+  };
 
-  std::mutex mutex_;  // guards channels_ and poked_
+  void start();
+  void poke_home(std::size_t w);
+  /// Steal one line from any registered channel other than `self` (used by
+  /// a producer blocked in wait_drained). Returns true when a line was
+  /// retired somewhere.
+  bool steal_one(const FlushChannel* self);
+  void run(std::stop_token st, std::size_t w);
+  std::size_t sweep(std::size_t w,
+                    const std::vector<std::shared_ptr<FlushChannel>>& channels);
+
+  const bool pin_;
+  std::mutex mutex_;  // guards channels_, next_home_ and Worker::poked
   std::vector<std::shared_ptr<FlushChannel>> channels_;
-  bool poked_ = false;
-  std::condition_variable_any cv_;
+  std::size_t next_home_ = 0;
+  std::vector<int> worker_cpu_;  // placement map, fixed at construction
   std::atomic<std::uint64_t> worker_flushes_{0};
-  std::jthread thread_;  // last member: joins before the rest is destroyed
+  std::atomic<std::uint64_t> steals_{0};
+  /// Last member: jthreads stop and join before the rest is destroyed.
+  std::vector<std::unique_ptr<Worker>> workers_;
 };
 
 /// Pipelined-device timing model for AsyncFlushSink, active only for the

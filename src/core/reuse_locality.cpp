@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/flat_hash.hpp"
+#include "common/simd.hpp"
 
 namespace nvc::core {
 
@@ -42,7 +43,40 @@ ReuseCurve compute_reuse_all_k(std::span<const ReuseInterval> intervals,
   std::vector<double> values(size, 0.0);
   double h = 0.0;  // first prefix sum
   double g = 0.0;  // second prefix sum: total enclosing-window count
-  for (std::size_t k = 1; k <= size; ++k) {
+  std::size_t k = 1;
+#if NVC_SIMD_AVX2
+  // Four timescales per iteration. With p = in-block prefix sum of dd and
+  // q = prefix sum of p, the lane values of the two running sums are
+  //   h_i = h + p_i          g_i = g + (i+1)*h + q_i
+  // and the carries out of the block are h += p_3, g = g_3. Every addend is
+  // an integer-valued double (interval counts), so the reassociation is
+  // exact and each values[] entry is bit-identical to the scalar loop's.
+  {
+    const __m256d lane_ix = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
+    for (; k + 3 <= size; k += 4) {
+      const __m256d d = _mm256_loadu_pd(&dd[k]);
+      const __m256d p = nvc::simd::prefix_sum_pd(d);
+      const __m256d q = nvc::simd::prefix_sum_pd(p);
+      const __m256d gv = _mm256_add_pd(
+          _mm256_add_pd(_mm256_set1_pd(g),
+                        _mm256_mul_pd(lane_ix, _mm256_set1_pd(h))),
+          q);
+      // windows = n-k+1 descending: (n-k+1) - lane offset [0,1,2,3].
+      const __m256d windows = _mm256_sub_pd(
+          _mm256_set1_pd(static_cast<double>(n - static_cast<LogicalTime>(k) +
+                                             2)),
+          lane_ix);
+      _mm256_storeu_pd(&values[k - 1], _mm256_div_pd(gv, windows));
+      alignas(32) double carry[4];
+      _mm256_store_pd(carry, p);
+      h += carry[3];
+      alignas(32) double gout[4];
+      _mm256_store_pd(gout, gv);
+      g = gout[3];
+    }
+  }
+#endif
+  for (; k <= size; ++k) {
     h += dd[k];
     g += h;
     const double windows = static_cast<double>(n - k + 1);
@@ -75,6 +109,11 @@ std::vector<ReuseInterval> intervals_of_trace(
     std::span<const LineAddr> trace) {
   std::vector<ReuseInterval> intervals;
   FlatHashMap<LineAddr, LogicalTime> last_access;
+  // Every access after a line's first contributes one interval; sizing the
+  // table for the trace keeps the open-addressing probe sequences short
+  // through the whole pass instead of rehashing mid-extraction.
+  last_access.reserve(trace.size());
+  intervals.reserve(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const LogicalTime t = static_cast<LogicalTime>(i) + 1;
     auto [prev, inserted] = last_access.try_emplace(trace[i], t);
@@ -89,9 +128,19 @@ std::vector<ReuseInterval> intervals_of_trace(
 std::vector<ReuseInterval> intervals_of_dense_trace(
     std::span<const LineAddr> trace, LineAddr id_bound) {
   std::vector<ReuseInterval> intervals;
+  intervals.reserve(trace.size());
   // 0 = never seen; recorded times are 1-indexed.
   std::vector<LogicalTime> last_access(static_cast<std::size_t>(id_bound), 0);
+  // The last_access table is the only randomly-indexed memory here (the
+  // trace itself streams); issuing its loads a fixed distance ahead hides
+  // the table miss behind the interval append. Pure scheduling — extraction
+  // order and output are untouched.
+  constexpr std::size_t kPrefetchAhead = 16;
   for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i + kPrefetchAhead < trace.size()) {
+      __builtin_prefetch(
+          &last_access[static_cast<std::size_t>(trace[i + kPrefetchAhead])]);
+    }
     NVC_ASSERT(trace[i] < id_bound, "trace address outside the dense range");
     const LogicalTime t = static_cast<LogicalTime>(i) + 1;
     LogicalTime& prev = last_access[static_cast<std::size_t>(trace[i])];
@@ -143,7 +192,30 @@ FootprintCurve compute_footprint_all_k(std::span<const LineAddr> trace) {
   }
 
   std::vector<double> values(size, 0.0);
-  for (std::size_t k = 1; k <= size; ++k) {
+  std::size_t k = 1;
+#if NVC_SIMD_AVX2
+  // Pure elementwise pass: lane k computes exactly the scalar expression
+  // over the same operands (gap counts and sums are integer-valued), so the
+  // results are bit-identical to the fallback below.
+  {
+    const __m256d lane = _mm256_set_pd(3.0, 2.0, 1.0, 0.0);
+    const __m256d distinct_v = _mm256_set1_pd(static_cast<double>(distinct));
+    for (; k + 3 <= size; k += 4) {
+      const __m256d km1 = _mm256_add_pd(
+          _mm256_set1_pd(static_cast<double>(k - 1)), lane);
+      const __m256d cnt = _mm256_loadu_pd(&suffix_cnt[k]);
+      const __m256d sum = _mm256_loadu_pd(&suffix_sum[k]);
+      const __m256d miss = _mm256_sub_pd(sum, _mm256_mul_pd(km1, cnt));
+      const __m256d windows = _mm256_sub_pd(
+          _mm256_set1_pd(static_cast<double>(n - static_cast<LogicalTime>(k) +
+                                             1)),
+          lane);
+      _mm256_storeu_pd(&values[k - 1],
+                       _mm256_sub_pd(distinct_v, _mm256_div_pd(miss, windows)));
+    }
+  }
+#endif
+  for (; k <= size; ++k) {
     const double miss_total =
         suffix_sum[k] - static_cast<double>(k - 1) * suffix_cnt[k];
     const double windows = static_cast<double>(n - k + 1);

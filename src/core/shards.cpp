@@ -1,10 +1,12 @@
 #include "core/shards.hpp"
 
+#include <bit>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/flat_hash.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace nvc::core {
 
@@ -33,6 +35,50 @@ std::uint64_t spatial_hash(LineAddr line) {
   return splitmix64(s);
 }
 
+/// Pass 1 of mrc_shards, hoisted: decide shards_samples() for every access
+/// once, into a flag per access, so pass 2 reads a flag instead of
+/// re-hashing. The default config (threshold=1, modulus=16) hits the
+/// power-of-two fast path, where hash % modulus is a mask and the whole
+/// decision vectorizes: four splitmix64 lanes per step (see simd.hpp),
+/// mask, unsigned-compare, movemask. Returns the sampled count.
+std::size_t compute_sampled_flags(std::span<const LineAddr> trace,
+                                  const ShardsConfig& config,
+                                  std::vector<std::uint8_t>* flags) {
+  flags->assign(trace.size(), 0);
+  std::size_t sampled = 0;
+  std::size_t i = 0;
+#if NVC_SIMD_AVX2
+  // The masked remainder and the threshold are < modulus <= 2^62, so the
+  // signed 64-bit compare AVX2 offers is exact for them.
+  if (std::has_single_bit(config.modulus) && config.modulus <= (1ULL << 62)) {
+    const __m256i mask =
+        _mm256_set1_epi64x(static_cast<long long>(config.modulus - 1));
+    const __m256i thr =
+        _mm256_set1_epi64x(static_cast<long long>(config.threshold));
+    for (; i + 4 <= trace.size(); i += 4) {
+      const __m256i lines = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&trace[i]));
+      const __m256i rem =
+          _mm256_and_si256(nvc::simd::splitmix64x4(lines), mask);
+      const int bits = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpgt_epi64(thr, rem)));
+      (*flags)[i + 0] = static_cast<std::uint8_t>(bits & 1);
+      (*flags)[i + 1] = static_cast<std::uint8_t>((bits >> 1) & 1);
+      (*flags)[i + 2] = static_cast<std::uint8_t>((bits >> 2) & 1);
+      (*flags)[i + 3] = static_cast<std::uint8_t>((bits >> 3) & 1);
+      sampled += static_cast<std::size_t>(std::popcount(
+          static_cast<unsigned>(bits)));
+    }
+  }
+#endif
+  for (; i < trace.size(); ++i) {
+    const bool s = shards_samples(trace[i], config);
+    (*flags)[i] = static_cast<std::uint8_t>(s);
+    sampled += static_cast<std::size_t>(s);
+  }
+  return sampled;
+}
+
 }  // namespace
 
 bool shards_samples(LineAddr line, const ShardsConfig& config) {
@@ -45,15 +91,16 @@ Mrc mrc_shards(std::span<const LineAddr> trace, std::size_t max_size,
   NVC_REQUIRE(config.threshold >= 1 && config.threshold <= config.modulus);
   const double scale = 1.0 / config.rate();
 
-  // Pass 1: count sampled accesses (to size the Fenwick tree tightly).
-  std::size_t sampled = 0;
-  for (const LineAddr a : trace) {
-    if (shards_samples(a, config)) ++sampled;
-  }
+  // Pass 1: hash every access once into a sampled bitmap (also sizes the
+  // Fenwick tree tightly).
+  std::vector<std::uint8_t> sampled_flags;
+  const std::size_t sampled =
+      compute_sampled_flags(trace, config, &sampled_flags);
   std::vector<double> mr(max_size, 1.0);
   if (sampled == 0) return Mrc(std::move(mr));
 
-  // Pass 2: Mattson over the sampled sub-trace with scaled distances.
+  // Pass 2: Mattson over the sampled sub-trace with scaled distances,
+  // reusing pass 1's decisions instead of re-hashing.
   std::vector<std::uint64_t> distance_hist(max_size + 1, 0);
   std::uint64_t beyond = 0;
   std::uint64_t cold = 0;
@@ -61,8 +108,9 @@ Mrc mrc_shards(std::span<const LineAddr> trace, std::size_t max_size,
   FlatHashMap<LineAddr, std::size_t> last;
 
   std::size_t t = 0;  // sampled logical time
-  for (const LineAddr a : trace) {
-    if (!shards_samples(a, config)) continue;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const LineAddr a = trace[i];
+    if (sampled_flags[i] == 0) continue;
     ++t;
     auto [entry, inserted] = last.try_emplace(a, t);
     if (inserted) {

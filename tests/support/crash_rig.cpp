@@ -297,14 +297,14 @@ void CrashRig::persist_barrier(std::size_t ctx) {
   c.policy->flush_buffered(c.route());
 }
 
-bool CrashRig::pump_flush(std::size_t ctx) {
+bool CrashRig::pump_flush(std::size_t ctx, std::size_t worker) {
   Context& c = *contexts_[ctx];
-  return c.flush_channel != nullptr && c.flush_channel->pump_one();
+  return c.flush_channel != nullptr && c.flush_channel->pump_one(worker);
 }
 
-bool CrashRig::pump_analysis(std::size_t ctx) {
+bool CrashRig::pump_analysis(std::size_t ctx, std::size_t worker) {
   Context& c = *contexts_[ctx];
-  return c.soft != nullptr && c.soft->pump_analysis();
+  return c.soft != nullptr && c.soft->pump_analysis(worker);
 }
 
 void CrashRig::maybe_tear(LineAddr line, std::uint64_t event) {

@@ -115,12 +115,14 @@ class CrashRig {
   // --- virtual-scheduler hooks (manual modes) ------------------------------
 
   /// Write back one queued line of `ctx`'s flush ring, if any (true when a
-  /// line was flushed). No-op without a flush channel.
-  bool pump_flush(std::size_t ctx = 0);
+  /// line was flushed). No-op without a flush channel. `worker` is the
+  /// virtual pool-worker index the simulated schedule charges the flush to
+  /// (attribution only — the rig stays single-threaded deterministic).
+  bool pump_flush(std::size_t ctx = 0, std::size_t worker = 0);
 
   /// Run one handed-off burst analysis of `ctx`'s sampler, if any (true
-  /// when a job ran). No-op unless async_analysis.
-  bool pump_analysis(std::size_t ctx = 0);
+  /// when a job ran). No-op unless async_analysis. `worker` as above.
+  bool pump_analysis(std::size_t ctx = 0, std::size_t worker = 0);
 
   // --- crash injection ------------------------------------------------------
 

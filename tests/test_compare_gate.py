@@ -22,15 +22,16 @@ COMPARE = os.path.join(REPO, "bench", "compare.py")
 DATA = os.path.join(TESTS_DIR, "data", "compare")
 
 
-def run_gate(current, baseline, env=None):
+def run_gate(current, baseline, env=None, flags=None):
     """Run compare.py on fixture names; returns (exit_code, stdout)."""
     merged = dict(os.environ)
     merged.pop("NVC_BENCH_TOLERANCE", None)
     merged.pop("NVC_BENCH_MIN_DELTA_NS", None)
+    merged.pop("NVC_BENCH_THREADS_NOISE", None)
     merged.update(env or {})
     proc = subprocess.run(
-        [sys.executable, COMPARE,
-         os.path.join(DATA, current), os.path.join(DATA, baseline)],
+        [sys.executable, COMPARE] + (flags or []) +
+        [os.path.join(DATA, current), os.path.join(DATA, baseline)],
         capture_output=True, text=True, env=merged, check=False)
     return proc.returncode, proc.stdout + proc.stderr
 
@@ -79,6 +80,52 @@ class CompareGateTest(unittest.TestCase):
         code, out = run_gate("malformed.json", "baseline.json")
         self.assertEqual(code, 2, out)
         self.assertIn("malformed", out)
+
+    def test_threads_noise_default_absorbs_mt_swing(self):
+        # The pooled-drain entry carries threads:8 and swings +60% — inside
+        # the default 75% multi-threaded envelope, so the gate passes even
+        # though 60% is far beyond the 10% single-threaded tolerance.
+        code, out = run_gate("current_threads_noisy.json",
+                             "baseline_threads.json")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("REGRESSED", out)
+
+    def test_threads_noise_flag_tightens_mt_gate(self):
+        # Narrowing the envelope to 30% makes the same +60% swing a
+        # failure, and only the threads>1 entry trips.
+        code, out = run_gate("current_threads_noisy.json",
+                             "baseline_threads.json",
+                             flags=["--threads-noise", "0.3"])
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSED", out)
+        self.assertIn("BM_FlushPipelineDrainPool/workers:4/threads:8", out)
+        self.assertNotIn("REGRESSED BM_PstoreStrict", out)
+
+    def test_threads_noise_env_matches_flag(self):
+        code, out = run_gate("current_threads_noisy.json",
+                             "baseline_threads.json",
+                             env={"NVC_BENCH_THREADS_NOISE": "0.3"})
+        self.assertEqual(code, 1, out)
+
+    def test_threads_noise_leaves_single_threaded_tight(self):
+        # A +67% single-threaded regression still fails at the 10%
+        # tolerance; the wide multi-threaded envelope must not leak.
+        code, out = run_gate("current_threads_st_regressed.json",
+                             "baseline_threads.json")
+        self.assertEqual(code, 1, out)
+        self.assertIn("BM_PstoreStrict/64", out)
+
+    def test_threads_noise_bad_value_exits_two(self):
+        code, out = run_gate("current_threads_noisy.json",
+                             "baseline_threads.json",
+                             flags=["--threads-noise", "wide"])
+        self.assertEqual(code, 2, out)
+
+    def test_threads_noise_missing_value_exits_two(self):
+        code, out = run_gate("current_threads_noisy.json",
+                             "baseline_threads.json",
+                             flags=["--threads-noise"])
+        self.assertEqual(code, 2, out)
 
 
 if __name__ == "__main__":

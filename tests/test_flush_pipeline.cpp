@@ -4,6 +4,7 @@
 // consumer, and the stats aggregation under ThreadSanitizer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -245,6 +246,49 @@ TEST(FlushPipelineRuntime, StatsNeverRaceWithTheWorker) {
   EXPECT_EQ(last, kStores);  // exactly-once: pops + overflow fallbacks
   rt.thread_flush();
   rt.destroy_storage();
+}
+
+TEST(FlushPool, SlowSinksNProducersMWorkersExactlyOnce) {
+  // N producers x M pool workers with deliberately slow sinks: rings fill,
+  // producers overflow into request_wake storms, home workers wedge in
+  // flush_line long enough for steal sweeps and helping drains to engage.
+  // Every line must still retire exactly once, and the release-published
+  // flushed() counters must equal the producer-side pushed() counts.
+  constexpr std::size_t kProducers = 3;
+  constexpr std::uint64_t kLinesEach = 96;
+  FlushWorker pool(2);
+  RecordingSink record;
+  std::vector<std::shared_ptr<FlushChannel>> channels(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    channels[p] = pool.open_channel(std::make_unique<SlowSink>(&record), 16);
+  }
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto& ch = *channels[p];
+      for (std::uint64_t i = 0; i < kLinesEach; ++i) {
+        const LineAddr tag = (static_cast<LineAddr>(p + 1) << 32) | i;
+        while (!ch.try_push(tag)) {
+          ch.request_wake();
+          std::this_thread::yield();
+        }
+      }
+      ch.wait_drained();
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::uint64_t total = 0;
+  for (auto& ch : channels) {
+    EXPECT_EQ(ch->flushed(), ch->pushed());
+    EXPECT_EQ(ch->pushed(), kLinesEach);
+    total += ch->flushed();
+    ch->close();
+  }
+  auto lines = record.snapshot();
+  ASSERT_EQ(lines.size(), total);
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(std::adjacent_find(lines.begin(), lines.end()), lines.end())
+      << "a line was flushed twice";
 }
 
 }  // namespace

@@ -35,7 +35,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -269,6 +271,71 @@ INSTANTIATE_TEST_SUITE_P(AllModes, FuzzCrash, ::testing::ValuesIn(kAllModes),
                            std::erase(name, '-');
                            return name;
                          });
+
+// --------------------------------------------------------------------------
+// Pool-independence of the deterministic schedule (DESIGN.md §11).
+// --------------------------------------------------------------------------
+
+TEST(FuzzDeterminism, WorkerPoolsCannotPerturbManualReplays) {
+  // The fuzzer's whole value rests on manual channels being invisible to
+  // every pool thread: replays must be byte-identical no matter how many
+  // flush/analysis workers exist or how busy they are. Run the same program
+  // twice in the fully-async manual mode — the second time while local
+  // 4-worker flush and analysis pools churn real channels (sweeps, steals,
+  // pokes all active) — and require the same event count and the same
+  // durable image, byte for byte.
+  const FuzzMode mode{runtime::LogSyncMode::kBatched, true, true};
+  const std::uint64_t seed = derive_seed(kDefaultBaseSeed, 0);
+  const FuzzProgram program = generate_program(seed);
+
+  CrashRig quiet(fuzz_rig_config(program, mode));
+  run_program(quiet, program);
+  const std::uint64_t quiet_events = quiet.events();
+  std::vector<std::vector<std::uint8_t>> quiet_images;
+  for (std::size_t c = 0; c < program.contexts; ++c) {
+    quiet_images.push_back(quiet.durable_data(c));
+  }
+
+  core::FlushWorker flush_pool(4);
+  core::AnalysisWorker analysis_pool(4);
+  struct NullSink final : core::FlushSink {
+    bool flush_line(LineAddr) override { return true; }
+  };
+  auto noisy_flush =
+      flush_pool.open_channel(std::make_unique<NullSink>(), 64);
+  auto noisy_analysis = analysis_pool.open_channel();
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    std::vector<LineAddr> burst(128);
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      burst[i] = static_cast<LineAddr>(i % 16);
+    }
+    while (!done.load(std::memory_order_acquire)) {
+      for (LineAddr l = 0; l < 32; ++l) (void)noisy_flush->try_push(l);
+      noisy_flush->request_wake();
+      auto copy = burst;
+      (void)noisy_analysis->submit(std::move(copy), core::KneeConfig{});
+      std::this_thread::yield();
+    }
+    noisy_flush->wait_drained();
+    noisy_analysis->drain();
+  });
+
+  CrashRig noisy(fuzz_rig_config(program, mode));
+  run_program(noisy, program);
+  EXPECT_EQ(noisy.events(), quiet_events)
+      << "pool activity changed the deterministic event schedule";
+  for (std::size_t c = 0; c < program.contexts; ++c) {
+    EXPECT_EQ(noisy.durable_data(c), quiet_images[c])
+        << "ctx " << c << ": replay no longer byte-identical under pools\n  "
+        << fuzz_replay_line(seed, mode_name(mode), quiet_events);
+  }
+
+  done.store(true, std::memory_order_release);
+  churn.join();
+  noisy_flush->close();
+  noisy_analysis->close();
+}
 
 // --------------------------------------------------------------------------
 // The fault dimension: the same sweep under injected media faults.
