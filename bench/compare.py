@@ -37,6 +37,15 @@ regression. Counters (flushes, fences, ...) are carried through to the
 report for context but are not gated: they are exact re-runnable
 invariants covered by the test suite, while wall-clock needs slack.
 
+Exception: counters named `exact_*` (the bytes-per-FASE and line-write
+counts of the admission ablation, BM_AdmissionBytesPerFase) are
+bit-deterministic by construction — computed from a fixed-length replay
+outside the timing loop — so when one is present in both files it is gated
+EXACTLY, no tolerance at all. Any divergence is a byte-accounting
+regression and fails the gate; an exact counter present on only one side
+is reported (EXACT?) but does not fail, mirroring the MISSING/NEW policy
+for whole benchmarks.
+
 Multi-threaded families (google-benchmark "threads" field > 1 — the
 pool-size sweeps of BM_FlushPipelineDrainPool and friends) swing far more
 than single-threaded micros on a shared host: N timed threads multiplex
@@ -81,6 +90,13 @@ def load_results(path):
 
 def fmt_time(entry):
     return "%.0f %s" % (entry.get("real_time", 0.0), entry.get("time_unit", "ns"))
+
+
+def exact_counters(entry):
+    """The bit-deterministic `exact_*` counters of a benchmark entry
+    (google-benchmark flattens UserCounters into the entry itself)."""
+    return {key: value for key, value in entry.items()
+            if key.startswith("exact_") and isinstance(value, (int, float))}
 
 
 def merge(out_path, in_paths):
@@ -148,7 +164,9 @@ def main(argv):
         return 2
 
     regressions = []
+    exact_failures = []
     compared = 0
+    compared_exact = 0
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
@@ -178,18 +196,39 @@ def main(argv):
         print("%-8s %-55s %12s -> %12s  (%+5.1f%%)"
               % (status, name, fmt_time(base), fmt_time(cur),
                  (ratio - 1.0) * 100.0))
+        # Exact counters: no tolerance, any divergence fails the gate.
+        for key, base_value in sorted(exact_counters(base).items()):
+            cur_value = cur.get(key)
+            if not isinstance(cur_value, (int, float)):
+                print("EXACT?   %-55s %s (in baseline only)" % (name, key))
+                continue
+            compared_exact += 1
+            if abs(cur_value - base_value) > 1e-9:
+                exact_failures.append((name, key, base_value, cur_value))
+                print("EXACT!   %-55s %s: %g -> %g"
+                      % (name, key, base_value, cur_value))
     for name in sorted(set(current) - set(baseline)):
         print("NEW      %-55s %s" % (name, fmt_time(current[name])))
 
     print()
+    failed = False
+    if exact_failures:
+        print("%d/%d exact counters diverged (gated with zero tolerance):"
+              % (len(exact_failures), compared_exact))
+        for name, key, base_value, cur_value in exact_failures:
+            print("  %s %s: %g -> %g" % (name, key, base_value, cur_value))
+        failed = True
     if regressions:
         print("%d/%d benchmarks regressed more than %.0f%%:"
               % (len(regressions), compared, tolerance * 100.0))
         for name, ratio in regressions:
             print("  %s  (%.2fx baseline)" % (name, ratio))
+        failed = True
+    if failed:
         return 1
     print("no regression beyond %.0f%% across %d benchmarks"
-          % (tolerance * 100.0, compared))
+          " (%d exact counters matched)"
+          % (tolerance * 100.0, compared, compared_exact))
     return 0
 
 

@@ -76,6 +76,21 @@ core::PolicyConfig default_policy_config() {
   // NVC_ASYNC=1 hands burst analysis to the shared background worker; the
   // selection is applied at the next FASE boundary (see DESIGN.md).
   config.sampler.async_analysis = env_int("NVC_ASYNC", 0) != 0;
+  // NVC_ADMIT=always|write-once|reuse selects the write-admission policy
+  // (DESIGN.md §12); NVC_ADMIT_WINDOW sizes the doorkeeper tag table and
+  // NVC_ADMIT_THRESHOLD sets the hit-ratio bound below which the reuse
+  // verdict arms the bypass.
+  const std::string admit = env_str("NVC_ADMIT", "always");
+  if (const auto mode = core::parse_admit_mode(admit)) {
+    config.admission.mode = *mode;
+  } else {
+    std::fprintf(stderr, "NVC_ADMIT: unknown mode '%s' (want always|write-once|reuse)\n",
+                 admit.c_str());
+  }
+  config.admission.window = static_cast<std::size_t>(env_int(
+      "NVC_ADMIT_WINDOW", static_cast<std::int64_t>(config.admission.window)));
+  config.admission.reuse_threshold =
+      env_double("NVC_ADMIT_THRESHOLD", config.admission.reuse_threshold);
   return config;
 }
 
@@ -115,6 +130,9 @@ LiveResult run_live(const std::string& workload, core::PolicyKind kind,
   // NVC_FAULT_* attaches the media-fault injector and configures the retry/
   // degradation machinery (DESIGN.md §10); all-defaults = disabled.
   config.fault = pmem::FaultConfig::from_env();
+  // NVC_WEAR=1 attaches the endurance tracker: per-line media write counts
+  // surfaced as wear statistics in RuntimeStats/HealthReport (DESIGN.md §12).
+  config.wear_tracking = env_int("NVC_WEAR", 0) != 0;
 
   runtime::Runtime rt(config);
   workloads::RuntimeApi api(rt);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-command verification gate (referenced from README "Development"):
+#
+#   scripts/check.sh            tier-1 build + full ctest sweep
+#                               + asan build of the policy tier (admission/
+#                                 wear suites, `ctest -L policy`)
+#                               + the bench regression gate when a fresh
+#                                 BENCH_micro.json exists at the repo root
+#
+# Flags / env:
+#   --no-asan        skip the asan policy tier (e.g. hosts without the rt)
+#   --no-bench       skip the compare.py gate
+#   CTEST_PARALLEL   ctest -j value (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${CTEST_PARALLEL:-$(nproc)}"
+run_asan=1
+run_bench=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) run_asan=0 ;;
+    --no-bench) run_bench=0 ;;
+    *) echo "usage: scripts/check.sh [--no-asan] [--no-bench]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: default build + full test sweep =="
+cmake --preset default >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build -j "$jobs" --output-on-failure
+
+if [ "$run_asan" = 1 ]; then
+  echo "== asan: policy tier (admission + wear suites) =="
+  cmake --preset asan >/dev/null
+  cmake --build build-asan -j "$(nproc)" --target test_admission test_fuzz_crash
+  ctest --test-dir build-asan -L policy -j "$jobs" --output-on-failure
+fi
+
+if [ "$run_bench" = 1 ]; then
+  if [ -f BENCH_micro.json ]; then
+    echo "== bench: regression gate (bench/compare.py) =="
+    python3 bench/compare.py
+  else
+    echo "== bench: no BENCH_micro.json at repo root; run" \
+         "./build/bench/micro_gbench first (skipping gate) =="
+  fi
+fi
+
+echo "check.sh: all selected gates passed"

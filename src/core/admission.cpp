@@ -1,0 +1,67 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/sampler.hpp"
+
+namespace nvc::core {
+
+const char* to_string(AdmitMode mode) {
+  switch (mode) {
+    case AdmitMode::kAlways:
+      return "always";
+    case AdmitMode::kWriteOnce:
+      return "write-once";
+    case AdmitMode::kReuse:
+      return "reuse";
+  }
+  NVC_UNREACHABLE("invalid AdmitMode");
+}
+
+std::optional<AdmitMode> parse_admit_mode(std::string_view name) {
+  if (name == "always") return AdmitMode::kAlways;
+  if (name == "write-once") return AdmitMode::kWriteOnce;
+  if (name == "reuse") return AdmitMode::kReuse;
+  return std::nullopt;
+}
+
+AdmissionFilter::AdmissionFilter(const AdmissionConfig& config)
+    : config_(config),
+      tags_(std::bit_ceil(std::max<std::size_t>(config.window, 2)), 0),
+      mask_(tags_.size() - 1),
+      // write-once bypasses from the first store; reuse waits for MRC
+      // evidence that caching is losing (publish_verdict).
+      armed_(config.mode == AdmitMode::kWriteOnce) {}
+
+bool AdmissionFilter::should_bypass(LineAddr line) noexcept {
+  const std::size_t slot = static_cast<std::size_t>(
+                               splitmix64_mix(line - config_.line_base)) &
+                           mask_;
+  if (tags_[slot] == line) {
+    // Second touch within the window: the line reuses, admit it.
+    ++counters_.readmitted;
+    return false;
+  }
+  tags_[slot] = line;  // first touch (or a collision forgot it): record
+  if (!armed_) return false;
+  ++counters_.bypassed;
+  return true;
+}
+
+void AdmissionFilter::publish_verdict(const BurstSampler& sampler) {
+  if (config_.mode != AdmitMode::kReuse) return;
+  if (sampler.bursts_completed() == published_bursts_) return;
+  published_bursts_ = sampler.bursts_completed();
+  const Mrc& mrc = sampler.last_mrc();
+  if (mrc.empty()) return;
+  const std::size_t size = std::clamp<std::size_t>(
+      sampler.last_selection().chosen_size, 1, mrc.max_size());
+  const double hit_ratio = 1.0 - mrc.at(size);
+  armed_ = hit_ratio < config_.reuse_threshold;
+  ++counters_.verdicts;
+}
+
+}  // namespace nvc::core

@@ -45,6 +45,19 @@ const char* to_string(PolicyKind kind) {
 
 void Policy::on_fase_begin(FlushSink&) { ++counters_.fases; }
 
+bool Policy::admit_bypass(LineAddr line, FlushSink& sink) {
+  counters_.instructions += AdmissionFilter::kInstrProbe;
+  if (!admission_->should_bypass(line)) return false;
+  // Write through the same sink the deferred flushes use: with a log it is
+  // the LogOrderedSink route, so a bypassed line obeys the same
+  // log-before-data ordering as an evicted one (DESIGN.md §12).
+  ++counters_.stores;
+  ++counters_.bypassed;
+  counters_.instructions += kInstrPerFlushIssue;
+  sink.flush_line(line);
+  return true;
+}
+
 void Policy::on_fase_end(FlushSink& sink) { sink.drain(); }
 
 void Policy::finish(FlushSink& sink) { sink.drain(); }
@@ -59,7 +72,8 @@ void EagerPolicy::on_store(LineAddr line, FlushSink& sink) {
 
 // --- LA ---------------------------------------------------------------------
 
-void LazyPolicy::on_store(LineAddr line, FlushSink&) {
+void LazyPolicy::on_store(LineAddr line, FlushSink& sink) {
+  if (admission_ != nullptr && admit_bypass(line, sink)) return;
   ++counters_.stores;
   counters_.instructions += kInstrLazyStore;
   const auto [slot, inserted] = pending_.try_emplace(line, seq_);
@@ -110,6 +124,7 @@ AtlasPolicy::AtlasPolicy(std::size_t table_size, std::size_t associativity)
 }
 
 void AtlasPolicy::on_store(LineAddr line, FlushSink& sink) {
+  if (admission_ != nullptr && admit_bypass(line, sink)) return;
   ++counters_.stores;
   counters_.instructions += kInstrAtlasProbe;
   Entry* set = &table_[(static_cast<std::size_t>(line) & (sets_ - 1)) *
@@ -163,6 +178,17 @@ SoftCachePolicy::SoftCachePolicy(const PolicyConfig& config, bool online)
     : cache_(config.cache_size), sampler_(config.sampler), online_(online) {}
 
 void SoftCachePolicy::on_store(LineAddr line, FlushSink& sink) {
+  // Admission runs only on cache misses: a line the cache already buffers
+  // combines more cheaply than any write-through, whatever the doorkeeper
+  // remembers about it.
+  if (admission_ != nullptr && !cache_.contains(line) &&
+      admit_bypass(line, sink)) {
+    // The sampler still sees bypassed stores: the MRC (and so the size
+    // selection and the reuse verdict) must describe the full write stream,
+    // not the post-filter residue.
+    if (online_) sample_store(line, sink);
+    return;
+  }
   ++counters_.stores;
   const bool hit = cache_.access(line, sink);
   if (hit) {
@@ -172,20 +198,24 @@ void SoftCachePolicy::on_store(LineAddr line, FlushSink& sink) {
     counters_.instructions += WriteCache::kInstrPerInsert;
   }
 
-  if (online_) {
-    const bool was_sampling = sampler_.sampling();
-    if (was_sampling) counters_.instructions += kInstrSamplerStore;
-    if (const auto selected = sampler_.on_store(line)) {
-      // Synchronous analysis (or async ring-full fallback): the full
-      // pipeline ran on this thread and the selection applies immediately.
-      counters_.instructions +=
-          kInstrSamplerAnalysisPerWrite * sampler_.burst_length();
-      cache_.resize(*selected, sink);
-    } else if (sampler_.async() && was_sampling && !sampler_.sampling()) {
-      // The burst was handed to the background worker in O(1); the old
-      // cache size stays until the selection lands at a FASE boundary.
-      counters_.instructions += kInstrAsyncHandoff;
-    }
+  if (online_) sample_store(line, sink);
+}
+
+void SoftCachePolicy::sample_store(LineAddr line, FlushSink& sink) {
+  const bool was_sampling = sampler_.sampling();
+  if (was_sampling) counters_.instructions += kInstrSamplerStore;
+  if (const auto selected = sampler_.on_store(line)) {
+    // Synchronous analysis (or async ring-full fallback): the full
+    // pipeline ran on this thread and the selection applies immediately —
+    // as does the admission verdict this burst implies.
+    counters_.instructions +=
+        kInstrSamplerAnalysisPerWrite * sampler_.burst_length();
+    cache_.resize(*selected, sink);
+    if (admission_ != nullptr) admission_->publish_verdict(sampler_);
+  } else if (sampler_.async() && was_sampling && !sampler_.sampling()) {
+    // The burst was handed to the background worker in O(1); the old
+    // cache size stays until the selection lands at a FASE boundary.
+    counters_.instructions += kInstrAsyncHandoff;
   }
 }
 
@@ -195,6 +225,9 @@ void SoftCachePolicy::apply_pending_selection(FlushSink& sink) {
     counters_.instructions += kInstrAsyncApply;
     cache_.resize(*selected, sink);
   }
+  // Burst-boundary republish, same cadence as the size selection: a burst
+  // polled at this boundary also refreshes the reuse verdict.
+  if (admission_ != nullptr) admission_->publish_verdict(sampler_);
 }
 
 void SoftCachePolicy::on_fase_begin(FlushSink& sink) {
@@ -243,8 +276,10 @@ void BestPolicy::on_store(LineAddr, FlushSink&) { ++counters_.stores; }
 
 // --- factory ------------------------------------------------------------------
 
-std::unique_ptr<Policy> make_policy(PolicyKind kind,
-                                    const PolicyConfig& config) {
+namespace {
+
+std::unique_ptr<Policy> make_policy_bare(PolicyKind kind,
+                                         const PolicyConfig& config) {
   switch (kind) {
     case PolicyKind::kEager:
       return std::make_unique<EagerPolicy>();
@@ -261,6 +296,35 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind,
       return std::make_unique<BestPolicy>();
   }
   NVC_UNREACHABLE("invalid PolicyKind");
+}
+
+/// ER already writes every store through and BEST never flushes — a filter
+/// would only distort their counters. The reuse predictor needs the online
+/// sampler's MRC, so kReuse attaches to SC only and degrades to `always`
+/// everywhere else (DESIGN.md §12).
+bool admission_applies(PolicyKind kind, AdmitMode mode) {
+  switch (mode) {
+    case AdmitMode::kAlways:
+      return false;
+    case AdmitMode::kWriteOnce:
+      return kind == PolicyKind::kLazy || kind == PolicyKind::kAtlas ||
+             kind == PolicyKind::kSoftCache ||
+             kind == PolicyKind::kSoftCacheOffline;
+    case AdmitMode::kReuse:
+      return kind == PolicyKind::kSoftCache;
+  }
+  NVC_UNREACHABLE("invalid AdmitMode");
+}
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                    const PolicyConfig& config) {
+  std::unique_ptr<Policy> policy = make_policy_bare(kind, config);
+  if (admission_applies(kind, config.admission.mode)) {
+    policy->attach_admission(config.admission);
+  }
+  return policy;
 }
 
 }  // namespace nvc::core

@@ -25,6 +25,7 @@
 
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
+#include "core/admission.hpp"
 #include "core/sampler.hpp"
 #include "core/write_cache.hpp"
 
@@ -51,6 +52,11 @@ struct PolicyConfig {
   std::size_t cache_size = WriteCache::kDefaultCapacity;
   /// SC: online sampler configuration.
   SamplerConfig sampler;
+  /// Write-admission filter (NVC_ADMIT, DESIGN.md §12). kAlways attaches no
+  /// filter at all; kWriteOnce applies to every deferred-flush policy
+  /// (LA/AT/SC/SC-offline); kReuse needs the online sampler's MRC and
+  /// therefore only attaches to SC, degrading to kAlways elsewhere.
+  AdmissionConfig admission;
 };
 
 struct PolicyCounters {
@@ -58,6 +64,7 @@ struct PolicyCounters {
   std::uint64_t combined = 0;     // stores absorbed by write combining
   std::uint64_t fases = 0;
   std::uint64_t instructions = 0; // bookkeeping instruction estimate
+  std::uint64_t bypassed = 0;     // stores written through by admission
 
   /// The paper's headline metric: flushes / stores, computed by the caller
   /// from the sink's flush count and `stores`.
@@ -98,8 +105,24 @@ class Policy {
   /// SC / SC-offline: current software-cache capacity (0 for others).
   virtual std::size_t current_cache_size() const noexcept { return 0; }
 
+  /// Attach a write-admission filter (make_policy wires this from
+  /// PolicyConfig::admission). Null — the default, NVC_ADMIT=always —
+  /// keeps the store hot path to one pointer test.
+  void attach_admission(const AdmissionConfig& config) {
+    admission_ = std::make_unique<AdmissionFilter>(config);
+  }
+  const AdmissionFilter* admission() const noexcept {
+    return admission_.get();
+  }
+
  protected:
+  /// Probe the attached filter (caller guarantees admission_ != nullptr):
+  /// true when the store was bypassed — counted and written through `sink`
+  /// immediately, skipping the deferred-flush structure entirely.
+  bool admit_bypass(LineAddr line, FlushSink& sink);
+
   PolicyCounters counters_;
+  std::unique_ptr<AdmissionFilter> admission_;
 };
 
 /// Instantiate one of the six techniques.
@@ -200,6 +223,7 @@ class SoftCachePolicy final : public Policy {
 
  private:
   void apply_pending_selection(FlushSink& sink);
+  void sample_store(LineAddr line, FlushSink& sink);
 
   WriteCache cache_;
   BurstSampler sampler_;

@@ -30,11 +30,6 @@ class Fenwick {
   std::vector<std::int64_t> tree_;
 };
 
-std::uint64_t spatial_hash(LineAddr line) {
-  std::uint64_t s = line;
-  return splitmix64(s);
-}
-
 /// Pass 1 of mrc_shards, hoisted: decide shards_samples() for every access
 /// once, into a flag per access, so pass 2 reads a flag instead of
 /// re-hashing. The default config (threshold=1, modulus=16) hits the
@@ -82,7 +77,7 @@ std::size_t compute_sampled_flags(std::span<const LineAddr> trace,
 }  // namespace
 
 bool shards_samples(LineAddr line, const ShardsConfig& config) {
-  return spatial_hash(line) % config.modulus < config.threshold;
+  return splitmix64_mix(line) % config.modulus < config.threshold;
 }
 
 Mrc mrc_shards(std::span<const LineAddr> trace, std::size_t max_size,

@@ -86,7 +86,7 @@ std::size_t FaultInjector::torn_bytes(LineAddr line) const noexcept {
   // 8..56 bytes in units of 8: never tears an aligned 8-byte word (ADR
   // power-fail atomicity), never the whole line (that would be a clean
   // flush, not a tear).
-  return 8 * (1 + (splitmix64(h) % 7));
+  return 8 * (1 + (splitmix64_mix(h) % 7));
 }
 
 FaultDecision FaultInjector::on_flush_attempt(LineAddr line) {

@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/cpu.hpp"
 #include "pmem/fault.hpp"
+#include "pmem/wear.hpp"
 
 namespace nvc::pmem {
 
@@ -124,6 +125,9 @@ FlushResult FlushBackend::flush(const void* addr) noexcept {
     case FlushKind::kCountOnly:
       break;
   }
+  if (wear_ != nullptr) {
+    wear_->record(line_of(reinterpret_cast<PmAddr>(addr)));
+  }
   return FlushResult::kOk;
 }
 
@@ -146,6 +150,9 @@ FlushResult FlushBackend::issue(const void* addr) noexcept {
     case FlushKind::kSimulated:
     case FlushKind::kCountOnly:
       break;
+  }
+  if (wear_ != nullptr) {
+    wear_->record(line_of(reinterpret_cast<PmAddr>(addr)));
   }
   return FlushResult::kOk;
 }

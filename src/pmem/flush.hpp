@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/types.hpp"
 
 namespace nvc::pmem {
+
+class WearTracker;
 
 enum class FlushKind : std::uint8_t {
   kClflush,     // flush + invalidate, strongly ordered (Atlas' choice)
@@ -76,10 +79,25 @@ class FlushBackend {
   }
   FaultInjector* fault_injector() const noexcept { return injector_; }
 
+  /// Record every successful write-back against `wear` (endurance
+  /// accounting, DESIGN.md §12; nullptr detaches). Shared ownership because
+  /// worker-side backends inside a FlushChannel may outlive the Runtime
+  /// that owns the tracker.
+  void set_wear_tracker(std::shared_ptr<WearTracker> wear) noexcept {
+    wear_ = std::move(wear);
+  }
+  WearTracker* wear_tracker() const noexcept { return wear_.get(); }
+
   FlushKind kind() const noexcept { return kind_; }
   std::uint64_t flush_count() const noexcept { return flushes_; }
   std::uint64_t fence_count() const noexcept { return fences_; }
   std::uint64_t fault_count() const noexcept { return faults_; }
+  /// Write-backs that actually reached the media: attempts minus injected
+  /// failures (a rejected attempt programs no cells).
+  std::uint64_t media_writes() const noexcept { return flushes_ - faults_; }
+  std::uint64_t bytes_written() const noexcept {
+    return media_writes() * kCacheLineSize;
+  }
   void reset_counters() noexcept { flushes_ = fences_ = faults_ = 0; }
 
  private:
@@ -88,6 +106,7 @@ class FlushBackend {
   FlushKind kind_;
   std::uint32_t simulated_latency_ns_;
   FaultInjector* injector_ = nullptr;
+  std::shared_ptr<WearTracker> wear_;
   std::uint64_t flushes_ = 0;
   std::uint64_t fences_ = 0;
   std::uint64_t faults_ = 0;  // injected failures observed by this backend

@@ -50,6 +50,8 @@ bool ShadowPmem::flush_line(LineAddr line) {
   const std::size_t len = std::min(kCacheLineSize, size_ - base);
   std::memcpy(durable_.get() + base, volatile_.get() + base, len);
   dirty_.erase(line);
+  bytes_written_ += len;
+  ++line_writes_[line];
   return true;
 }
 
@@ -61,7 +63,10 @@ void ShadowPmem::flush_line_torn(LineAddr line, std::size_t bytes) {
   ++torn_flushes_;
   const std::size_t len = std::min(bytes, size_ - base);
   std::memcpy(durable_.get() + base, volatile_.get() + base, len);
-  // The line stays dirty: bytes past the tear never persisted.
+  // The line stays dirty: bytes past the tear never persisted. The prefix
+  // did program media cells, so it wears the line like any write.
+  bytes_written_ += len;
+  ++line_writes_[line];
 }
 
 void ShadowPmem::flush_all() {
@@ -74,6 +79,28 @@ void ShadowPmem::crash() {
   frozen_ = false;  // the restarted machine has power again
   std::memcpy(volatile_.get(), durable_.get(), size_);
   dirty_.clear();
+}
+
+WearStats ShadowPmem::wear_stats() const {
+  WearStats s;
+  s.lines_touched = line_writes_.size();
+  std::uint64_t total = 0;
+  for (const auto& [line, n] : line_writes_) {
+    (void)line;
+    total += n;
+    s.max_line_writes = std::max(s.max_line_writes, n);
+  }
+  s.line_writes = total;
+  s.bytes_written = bytes_written_;
+  if (!line_writes_.empty()) {
+    s.mean_line_writes =
+        static_cast<double>(total) / static_cast<double>(line_writes_.size());
+    if (s.mean_line_writes > 0.0) {
+      s.leveling_skew =
+          static_cast<double>(s.max_line_writes) / s.mean_line_writes - 1.0;
+    }
+  }
+  return s;
 }
 
 void ShadowPmem::load_durable(PmAddr addr, void* out, std::size_t len) const {

@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/types.hpp"
+#include "pmem/wear.hpp"
 
 namespace nvc::pmem {
 
@@ -100,6 +102,18 @@ class ShadowPmem {
   std::uint64_t fault_drops() const noexcept { return fault_drops_; }
   std::uint64_t torn_flushes() const noexcept { return torn_flushes_; }
 
+  /// Endurance accounting (DESIGN.md §12): bytes that actually programmed
+  /// the durable image — full lines plus torn prefixes; dropped attempts
+  /// (frozen, out-of-range, injected failure) never count.
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+  /// Write-backs that programmed (part of) `line`.
+  std::uint64_t line_write_count(LineAddr line) const {
+    const auto it = line_writes_.find(line);
+    return it == line_writes_.end() ? 0 : it->second;
+  }
+  /// Max/mean/leveling-skew over the per-line write counts.
+  WearStats wear_stats() const;
+
   /// Raw base of the volatile image, 64-byte aligned — lets components that
   /// write through pointers (the undo log) live inside the crash model.
   /// Writes through this pointer bypass store()/dirty accounting, but
@@ -118,10 +132,12 @@ class ShadowPmem {
   bool frozen_ = false;
   FaultInjector* injector_ = nullptr;
   std::unordered_set<LineAddr> dirty_;
+  std::unordered_map<LineAddr, std::uint64_t> line_writes_;
   std::uint64_t stores_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t fault_drops_ = 0;
   std::uint64_t torn_flushes_ = 0;
+  std::uint64_t bytes_written_ = 0;
 };
 
 }  // namespace nvc::pmem

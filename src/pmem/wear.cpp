@@ -1,0 +1,52 @@
+#include "pmem/wear.hpp"
+
+#include <algorithm>
+
+namespace nvc::pmem {
+
+void WearTracker::record(LineAddr line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_[line];
+  }
+  // Publish after the per-line count so an acquire-reader of the total
+  // never sees a byte counted whose map entry is still being written.
+  total_.fetch_add(1, std::memory_order_release);
+}
+
+WearStats WearTracker::stats() const {
+  WearStats s;
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.lines_touched = counts_.size();
+  std::uint64_t total = 0;
+  for (const auto& [line, n] : counts_) {
+    (void)line;
+    total += n;
+    s.max_line_writes = std::max(s.max_line_writes, n);
+  }
+  s.line_writes = total;
+  s.bytes_written = total * kCacheLineSize;
+  if (!counts_.empty()) {
+    s.mean_line_writes =
+        static_cast<double>(total) / static_cast<double>(counts_.size());
+    if (s.mean_line_writes > 0.0) {
+      s.leveling_skew =
+          static_cast<double>(s.max_line_writes) / s.mean_line_writes - 1.0;
+    }
+  }
+  return s;
+}
+
+std::uint64_t WearTracker::line_write_count(LineAddr line) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counts_.find(line);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void WearTracker::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_.clear();
+  total_.store(0, std::memory_order_release);
+}
+
+}  // namespace nvc::pmem

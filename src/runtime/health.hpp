@@ -38,6 +38,16 @@ struct HealthReport {
   /// Contexts that stopped committing FASEs because of quarantined lines.
   std::size_t commit_suspended_contexts = 0;
 
+  /// A WearTracker is wired into the flush paths (NVC_WEAR=1).
+  bool wear_attached = false;
+  /// Endurance accounting snapshot (all zero unless wear_attached):
+  std::uint64_t media_bytes_written = 0;
+  std::uint64_t wear_max_line_writes = 0;
+  double wear_mean_line_writes = 0.0;
+  /// max/mean - 1: 0 = perfectly leveled, large = one line absorbing a
+  /// disproportionate share of the device's endurance budget.
+  double wear_leveling_skew = 0.0;
+
   /// Any degradation latch fired or any line was lost.
   bool degraded() const noexcept {
     return flush_degraded_contexts > 0 || log_degraded_contexts > 0 ||

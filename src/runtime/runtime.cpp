@@ -10,6 +10,7 @@
 #include "core/fault_sink.hpp"
 #include "core/flush_pipeline.hpp"
 #include "core/log_ordered_sink.hpp"
+#include "pmem/wear.hpp"
 #include "runtime/backend_sink.hpp"
 
 namespace nvc::runtime {
@@ -58,7 +59,8 @@ struct WorkerFaultSink final : core::FlushSink {
 std::shared_ptr<core::FlushChannel> open_flush_channel(
     const RuntimeConfig& config,
     const std::shared_ptr<pmem::FaultInjector>& injector,
-    const std::shared_ptr<core::FaultStats>& faults) {
+    const std::shared_ptr<core::FaultStats>& faults,
+    const std::shared_ptr<pmem::WearTracker>& wear) {
   if (!config.async_flush) return nullptr;
   // Sanitize the configured depth (it arrives from NVC_FLUSH_QUEUE in the
   // harness): clamp to a sane range and round up to the power of two the
@@ -69,6 +71,10 @@ std::shared_ptr<core::FlushChannel> open_flush_channel(
   depth = std::bit_ceil(depth);
   auto issue =
       std::make_unique<IssueSink>(config.flush, config.simulated_flush_ns);
+  // The worker backend shares ownership of the tracker (this channel may
+  // outlive the Runtime); its recordings go through the tracker's atomics,
+  // never its plain counters, so stats() stays race-free.
+  if (wear != nullptr) issue->backend().set_wear_tracker(wear);
   std::unique_ptr<core::FlushSink> sink;
   // `faults` is only allocated for an armed injector (one that can actually
   // fire). An attached-but-idle injector keeps its hooks on the
@@ -106,7 +112,8 @@ core::AsyncFlushSink::DeviceModel device_model(const RuntimeConfig& config) {
 struct Runtime::ThreadContext {
   ThreadContext(const RuntimeConfig& config, std::size_t slot_index,
                 void* log_base,
-                const std::shared_ptr<pmem::FaultInjector>& injector)
+                const std::shared_ptr<pmem::FaultInjector>& injector,
+                const std::shared_ptr<pmem::WearTracker>& wear)
       : slot(slot_index),
         backend(config.flush, config.simulated_flush_ns),
         log_backend(config.flush, config.simulated_flush_ns),
@@ -137,7 +144,7 @@ struct Runtime::ThreadContext {
                           : &log_sink,
                       config.log_sync)
                 : nullptr),
-        flush_channel(open_flush_channel(config, injector, faults)),
+        flush_channel(open_flush_channel(config, injector, faults, wear)),
         async_sink(flush_channel != nullptr
                        ? std::make_unique<core::AsyncFlushSink>(
                              flush_channel, sync_data(), device_model(config))
@@ -153,6 +160,10 @@ struct Runtime::ThreadContext {
     if (injector != nullptr) {
       backend.set_fault_injector(injector.get());
       log_backend.set_fault_injector(injector.get());
+    }
+    if (wear != nullptr) {
+      backend.set_wear_tracker(wear);
+      log_backend.set_wear_tracker(wear);
     }
   }
 
@@ -226,6 +237,9 @@ Runtime::Runtime(RuntimeConfig config)
   if (config_.fault.enabled()) {
     injector_ = std::make_shared<pmem::FaultInjector>(config_.fault);
   }
+  if (config_.wear_tracking) {
+    wear_ = std::make_shared<pmem::WearTracker>();
+  }
 
   pmem::PmemRegion data =
       config_.fresh
@@ -233,6 +247,12 @@ Runtime::Runtime(RuntimeConfig config)
           : pmem::PmemRegion::open(config_.region_name);
   allocator_ =
       std::make_unique<pmem::PmemAllocator>(std::move(data), config_.fresh);
+  // Contexts hash admission-doorkeeper slots relative to the region base so
+  // bypass/readmit decisions replay bit-for-bit across processes (ASLR moves
+  // the mapping; line offsets within the region do not).
+  config_.policy_config.admission.line_base =
+      reinterpret_cast<std::uintptr_t>(allocator_->region().base()) /
+      kCacheLineSize;
 
   if (config_.undo_logging) {
     const std::string log_name = config_.region_name + ".log";
@@ -286,8 +306,8 @@ Runtime::ThreadContext& Runtime::ctx_slow() {
           ? static_cast<char*>(log_region_.base()) +
                 slot * config_.log_segment_size
           : nullptr;
-  contexts_.push_back(
-      std::make_unique<ThreadContext>(config_, slot, log_base, injector_));
+  contexts_.push_back(std::make_unique<ThreadContext>(config_, slot, log_base,
+                                                      injector_, wear_));
   ThreadContext* c = contexts_.back().get();
   tl_cache.emplace(instance_id_, c);
   return *c;
@@ -485,6 +505,7 @@ RuntimeStats Runtime::stats() const {
     s.combined += pc.combined;
     s.fases += pc.fases;
     s.instructions += pc.instructions;
+    s.bypassed_stores += pc.bypassed;
     s.flushes += c->backend.flush_count();
     s.fences += c->backend.fence_count();
     if (c->flush_channel) {
@@ -514,6 +535,18 @@ RuntimeStats Runtime::stats() const {
       s.cache_sizes.push_back(size);
     }
   }
+  if (wear_ != nullptr) {
+    // Thread-safe by construction: the tracker's totals are release-
+    // published and its map is mutex-guarded, so this races with no
+    // worker-side recording.
+    const pmem::WearStats ws = wear_->stats();
+    s.media_line_writes = ws.line_writes;
+    s.media_bytes_written = ws.bytes_written;
+    s.wear_lines_touched = ws.lines_touched;
+    s.wear_max_line_writes = ws.max_line_writes;
+    s.wear_mean_line_writes = ws.mean_line_writes;
+    s.wear_leveling_skew = ws.leveling_skew;
+  }
   return s;
 }
 
@@ -537,6 +570,14 @@ HealthReport Runtime::health() const {
       std::unique(report.quarantined_lines.begin(),
                   report.quarantined_lines.end()),
       report.quarantined_lines.end());
+  report.wear_attached = wear_ != nullptr;
+  if (wear_ != nullptr) {
+    const pmem::WearStats ws = wear_->stats();
+    report.media_bytes_written = ws.bytes_written;
+    report.wear_max_line_writes = ws.max_line_writes;
+    report.wear_mean_line_writes = ws.mean_line_writes;
+    report.wear_leveling_skew = ws.leveling_skew;
+  }
   return report;
 }
 

@@ -76,6 +76,13 @@ struct RuntimeConfig {
   /// logging) once the media misbehaves. Default-constructed = disabled:
   /// the fault-free hot path is untouched.
   pmem::FaultConfig fault;
+
+  /// Endurance accounting (NVC_WEAR, DESIGN.md §12): attach one shared
+  /// pmem::WearTracker to every flush backend — application-thread and
+  /// worker-side — so stats()/health() can report bytes written to media
+  /// and per-line wear. Off by default: the write-back hot path then keeps
+  /// a single null-pointer test.
+  bool wear_tracking = false;
 };
 
 /// Statistics aggregated over all thread contexts.
@@ -97,6 +104,15 @@ struct RuntimeStats {
   std::uint64_t quarantined_lines = 0; // lines that exhausted retries
   std::uint64_t flush_degrades = 0;    // contexts latched async -> sync
   std::uint64_t log_degrades = 0;      // contexts latched batched -> strict
+  // Write admission (NVC_ADMIT; zero under the default `always` mode):
+  std::uint64_t bypassed_stores = 0;   // stores written through past a cache
+  // Endurance accounting (NVC_WEAR=1; all zero when tracking is off):
+  std::uint64_t media_line_writes = 0;   // write-backs that reached media
+  std::uint64_t media_bytes_written = 0; // media_line_writes * line size
+  std::uint64_t wear_lines_touched = 0;  // distinct lines written
+  std::uint64_t wear_max_line_writes = 0;
+  double wear_mean_line_writes = 0.0;
+  double wear_leveling_skew = 0.0;       // max/mean - 1 (0 = leveled)
   std::size_t threads = 0;
   std::vector<std::size_t> cache_sizes;  // per-thread selected sizes (SC)
 
@@ -198,6 +214,9 @@ class Runtime {
   /// Shared: the worker-side sink inside a FlushChannel keeps a reference,
   /// and a channel may outlive the Runtime (see open_flush_channel).
   std::shared_ptr<pmem::FaultInjector> injector_;
+  /// Endurance accounting (null unless config_.wear_tracking). Shared for
+  /// the same lifetime reason: worker-side backends hold a reference.
+  std::shared_ptr<pmem::WearTracker> wear_;
   std::unique_ptr<pmem::PmemAllocator> allocator_;
   pmem::PmemRegion log_region_;
   std::uint64_t instance_id_;

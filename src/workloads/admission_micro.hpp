@@ -1,0 +1,60 @@
+// Deterministic microworkloads for the write-admission ablation
+// (DESIGN.md §12, EXPERIMENTS.md "bytes written to media per FASE").
+//
+// Two traffic shapes, designed so the byte counts are exact and replayable
+// (count backend, fixed iteration order, no randomness):
+//
+//   write-once stream  every FASE interleaves 64 never-reused streaming
+//                      lines with 8 hot lines written 8 times each, one
+//                      stream store between consecutive hot-line writes.
+//                      The hot set alone fits the default soft cache
+//                      (capacity 8), but the interleaved stream pushes each
+//                      hot line's reuse distance to 15 — under NVC_ADMIT=
+//                      always every access misses and the hot set is pure
+//                      eviction churn (128 media writes per FASE); under
+//                      write-once the stream bypasses, the hot set stays
+//                      resident, and the FASE costs 64 + 8 media writes.
+//
+//   reuse-heavy        every FASE writes 6 lines round-robin, 128 stores.
+//                      All residencies fit, writes combine, and admission
+//                      must not change the byte count: the 6 lines are
+//                      re-admitted from the doorkeeper after the first FASE.
+//
+// Used by bench/micro_gbench.cpp (exact_ counters gated by compare.py) and
+// tests/test_admission.cpp (the ≥30% reduction acceptance bound).
+#pragma once
+
+#include <cstdint>
+
+#include "core/admission.hpp"
+#include "core/policy.hpp"
+
+namespace nvc::workloads {
+
+enum class AdmissionWorkload : std::uint8_t {
+  kWriteOnceStream,
+  kReuseHeavy,
+};
+
+const char* to_string(AdmissionWorkload workload);
+
+struct AdmissionMicroResult {
+  std::uint64_t fases = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t bypassed = 0;           // admission write-throughs
+  std::uint64_t media_line_writes = 0;  // wear tracker: lines that landed
+  std::uint64_t media_bytes = 0;        // wear tracker: bytes that landed
+  std::uint64_t wear_max_line_writes = 0;
+  double wear_leveling_skew = 0.0;
+  double bytes_per_fase = 0.0;          // the ablation's headline metric
+};
+
+/// Run `fases` FASEs of the chosen shape through a fresh Runtime (count
+/// backend, wear tracking on, no undo log) under `policy` x `admit`.
+/// Deterministic: same arguments, same result, bit for bit.
+AdmissionMicroResult run_admission_micro(core::PolicyKind policy,
+                                         core::AdmitMode admit,
+                                         AdmissionWorkload workload,
+                                         std::uint64_t fases = 64);
+
+}  // namespace nvc::workloads

@@ -157,7 +157,7 @@ class HashWorkload final : public Workload {
     for (std::uint64_t i = 0; i < n; ++i) {
       const std::uint64_t key = rng.below(n * 2);
       const std::size_t b =
-          static_cast<std::size_t>(splitmix_hash(key)) & (buckets - 1);
+          static_cast<std::size_t>(splitmix64_mix(key)) & (buckets - 1);
       auto* node = static_cast<Node*>(api.alloc(0, sizeof(Node)));
       ApiFase fase(api, 0);
       api.store(0, node->key, key);
@@ -177,10 +177,6 @@ class HashWorkload final : public Workload {
  private:
   static std::uint64_t inserts(const WorkloadParams& p) {
     return p.full ? 40000 : 4000;
-  }
-  static std::uint64_t splitmix_hash(std::uint64_t x) {
-    std::uint64_t s = x;
-    return splitmix64(s);
   }
 };
 

@@ -130,6 +130,7 @@ CrashRig::CrashRig(const CrashRigConfig& config)
     }
     core::PolicyConfig pc;
     pc.cache_size = config_.cache_size;
+    pc.admission.mode = config_.admission;
     if (config_.online_policy) {
       pc.sampler.burst_length = config_.burst_length;
       pc.sampler.hibernation_length = config_.hibernation_length;
@@ -412,6 +413,14 @@ std::uint64_t CrashRig::log_fences() const noexcept {
   std::uint64_t total = 0;
   for (const auto& c : contexts_) {
     total += c->log_sink.fences.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t CrashRig::bypassed_stores() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : contexts_) {
+    total += c->policy->counters().bypassed;
   }
   return total;
 }

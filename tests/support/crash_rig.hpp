@@ -80,6 +80,11 @@ struct CrashRigConfig {
   /// Online sampler knobs (scaled down so short scripts complete bursts).
   std::uint64_t burst_length = 48;
   std::uint64_t hibernation_length = 32;
+  /// Write-admission dimension (DESIGN.md §12): bypassed stores write
+  /// through the same LogOrderedSink route as evictions, so the durability
+  /// oracle must hold unchanged under every mode. kReuse attaches only in
+  /// online_policy configurations (make_policy's rule).
+  core::AdmitMode admission = core::AdmitMode::kAlways;
 };
 
 class CrashRig {
@@ -146,6 +151,8 @@ class CrashRig {
 
   std::uint64_t data_flushes() const noexcept;  // summed over contexts
   std::uint64_t log_fences() const noexcept;
+  /// Stores written through by the admission filter (summed over contexts).
+  std::uint64_t bypassed_stores() const noexcept;
 
   std::size_t contexts() const noexcept { return contexts_.size(); }
   std::size_t data_bytes() const noexcept {

@@ -115,6 +115,36 @@ class CompareGateTest(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("BM_PstoreStrict/64", out)
 
+    def test_exact_counters_match_exits_zero(self):
+        # The exact_* counters agree bit for bit; regular counters
+        # (flushes 2 -> 3) and an exact counter present only in the
+        # baseline are reported but never gated, and the wear_* counter
+        # without the exact_ prefix stays ungated even though it moved.
+        code, out = run_gate("current_exact_ok.json", "baseline_exact.json")
+        self.assertEqual(code, 0, out)
+        self.assertIn("exact counters matched", out)
+        self.assertIn("EXACT?", out)  # exact_bypassed only in the baseline
+        self.assertNotIn("EXACT!", out)
+
+    def test_exact_counter_divergence_exits_one(self):
+        # Time moved well inside the 10% envelope, but an exact counter
+        # diverged (4632 -> 8192 bytes/FASE): zero tolerance, gate fails.
+        code, out = run_gate("current_exact_regressed.json",
+                             "baseline_exact.json")
+        self.assertEqual(code, 1, out)
+        self.assertIn("EXACT!", out)
+        self.assertIn("exact_bytes_per_fase", out)
+        self.assertNotIn("REGRESSED", out)
+
+    def test_exact_counter_gate_ignores_tolerance_env(self):
+        # NVC_BENCH_TOLERANCE only widens the time envelope; exact
+        # counters stay zero-tolerance.
+        code, out = run_gate("current_exact_regressed.json",
+                             "baseline_exact.json",
+                             env={"NVC_BENCH_TOLERANCE": "5.0"})
+        self.assertEqual(code, 1, out)
+        self.assertIn("exact counters diverged", out)
+
     def test_threads_noise_bad_value_exits_two(self):
         code, out = run_gate("current_threads_noisy.json",
                              "baseline_threads.json",

@@ -471,6 +471,100 @@ INSTANTIATE_TEST_SUITE_P(AllModes, FaultFuzzCrash,
                          });
 
 // --------------------------------------------------------------------------
+// The admission dimension: the same sweep with write-through bypasses.
+// --------------------------------------------------------------------------
+
+class AdmitFuzzCrash : public ::testing::TestWithParam<FuzzMode> {};
+
+TEST_P(AdmitFuzzCrash, BypassedLinesKeepTheDurabilityContract) {
+  // Write-admission (DESIGN.md §12) changes WHERE a store's write-back
+  // happens — immediately through the LogOrderedSink instead of at
+  // eviction/FASE end — but must not change WHAT a crash can leave behind:
+  // the same oracle, the same monotone durability, under every mode combo
+  // and both non-trivial admission modes. NVC_ADMIT pins one admission
+  // mode for replay (failure lines carry the fragment).
+  const FuzzMode mode = GetParam();
+  const std::string only = env_str("NVC_FUZZ_MODE", "");
+  if (!only.empty() && only != mode_name(mode)) {
+    GTEST_SKIP() << "NVC_FUZZ_MODE=" << only << " filters out this combo";
+  }
+
+  const core::AdmitMode sweep[] = {core::AdmitMode::kWriteOnce,
+                                   core::AdmitMode::kReuse};
+  const std::string admit_pin = env_str("NVC_ADMIT", "");
+  const SeedPlan plan = seed_plan(/*default_iters=*/4);
+  std::uint64_t bypassed_total = 0;
+  for (const core::AdmitMode admit : sweep) {
+    if (!admit_pin.empty() && admit_pin != core::to_string(admit)) continue;
+    const std::string admit_env =
+        std::string("NVC_ADMIT=") + core::to_string(admit);
+    for (std::uint64_t iter = 0; iter < plan.iters; ++iter) {
+      const std::uint64_t seed = plan.seed(iter);
+      const FuzzProgram program = generate_program(seed);
+      const DurabilityOracle oracle(program);
+
+      CrashRigConfig rig_config = fuzz_rig_config(program, mode);
+      rig_config.admission = admit;
+
+      // Probe run, never frozen: no faults are injected, so even with
+      // bypasses the uninterrupted run must recover the final commit.
+      CrashRig probe(rig_config);
+      run_program(probe, program);
+      const std::uint64_t total = probe.events();
+      bypassed_total += probe.bypassed_stores();
+      for (std::size_t c = 0; c < program.contexts; ++c) {
+        ASSERT_EQ(probe.recovered_data(c), oracle.final_committed(c))
+            << "ctx " << c << ": uninterrupted run with admission lost "
+            << "committed data\n  "
+            << fuzz_replay_line(seed, mode_name(mode), total, admit_env);
+      }
+
+      std::vector<int> last_index(program.contexts, -1);
+      for (const std::uint64_t e : freeze_points(total, seed)) {
+        CrashRig rig(rig_config);
+        rig.freeze_at(e);
+        run_program(rig, program);
+        for (std::size_t c = 0; c < program.contexts; ++c) {
+          const int index = oracle.match(c, rig.recovered_data(c));
+          ASSERT_GE(index, 0)
+              << "ctx " << c << ": crash at event " << e << "/" << total
+              << " with admission bypasses recovered a state matching no "
+              << "committed FASE\n  "
+              << fuzz_replay_line(seed, mode_name(mode), e, admit_env);
+          ASSERT_GE(index, last_index[c])
+              << "ctx " << c << ": durability regressed under admission — "
+              << "freeze " << e << " recovered commit " << index
+              << " after an earlier freeze had already reached "
+              << last_index[c] << "\n  "
+              << fuzz_replay_line(seed, mode_name(mode), e, admit_env);
+          last_index[c] = index;
+        }
+      }
+    }
+  }
+
+  // Campaign coverage (deterministic seeds): the sweep is only meaningful
+  // if the doorkeeper actually bypassed stores somewhere. Skipped on
+  // pinned replays, where the campaign is deliberately partial.
+  const bool pinned = env_int("NVC_FUZZ_SEED", -1) >= 0 ||
+                      env_int("NVC_FUZZ_FREEZE", -1) >= 0 ||
+                      env_int("NVC_FUZZ_ITERS", -1) >= 0 ||
+                      !admit_pin.empty();
+  if (pinned) return;
+  EXPECT_GT(bypassed_total, 0u)
+      << "admission sweep never bypassed a store; the write-once doorkeeper "
+      << "no longer sees first touches";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, AdmitFuzzCrash,
+                         ::testing::ValuesIn(kAllModes),
+                         [](const auto& param_info) {
+                           std::string name = mode_name(param_info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+// --------------------------------------------------------------------------
 // Differential oracle: the analyze/MRC/knee pipeline vs. brute force.
 // --------------------------------------------------------------------------
 
