@@ -133,6 +133,13 @@ LiveResult run_live(const std::string& workload, core::PolicyKind kind,
   // NVC_WEAR=1 attaches the endurance tracker: per-line media write counts
   // surfaced as wear statistics in RuntimeStats/HealthReport (DESIGN.md §12).
   config.wear_tracking = env_int("NVC_WEAR", 0) != 0;
+  // NVC_ELIDE=1 arms FliT-style flush elision: a shared per-line
+  // pending-counter table dedups already-scheduled write-backs across
+  // contexts (DESIGN.md §13); NVC_ELIDE_TABLE sets the slot count.
+  config.elide = env_int("NVC_ELIDE", 0) != 0;
+  config.elide_table_slots = static_cast<std::size_t>(
+      env_int("NVC_ELIDE_TABLE",
+              static_cast<std::int64_t>(config.elide_table_slots)));
 
   runtime::Runtime rt(config);
   workloads::RuntimeApi api(rt);

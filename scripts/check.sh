@@ -30,6 +30,14 @@ cmake --preset default >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -j "$jobs" --output-on-failure
 
+# The durable-structure tier runs again with FliT elision DISABLED: the
+# flush-everything baseline is a distinct protocol dimension (every
+# persist_help hits media), so the linearizability + power-cut oracles get
+# one fuzzer iteration against it too.
+echo "== structures: durable suite, elision off (NVC_ELIDE=0) =="
+NVC_ELIDE=0 NVC_FUZZ_ITERS=1 \
+  ctest --test-dir build -L structures -j "$jobs" --output-on-failure
+
 if [ "$run_asan" = 1 ]; then
   echo "== asan: policy tier (admission + wear suites) =="
   cmake --preset asan >/dev/null

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "core/elision_sink.hpp"
 #include "core/fault_sink.hpp"
 #include "core/flush_pipeline.hpp"
 #include "core/log_ordered_sink.hpp"
@@ -60,7 +61,8 @@ std::shared_ptr<core::FlushChannel> open_flush_channel(
     const RuntimeConfig& config,
     const std::shared_ptr<pmem::FaultInjector>& injector,
     const std::shared_ptr<core::FaultStats>& faults,
-    const std::shared_ptr<pmem::WearTracker>& wear) {
+    const std::shared_ptr<pmem::WearTracker>& wear,
+    const std::shared_ptr<core::FlushElisionTable>& elision) {
   if (!config.async_flush) return nullptr;
   // Sanitize the configured depth (it arrives from NVC_FLUSH_QUEUE in the
   // harness): clamp to a sane range and round up to the power of two the
@@ -85,6 +87,12 @@ std::shared_ptr<core::FlushChannel> open_flush_channel(
                                              faults, retry_policy(config));
   } else {
     sink = std::move(issue);
+  }
+  if (elision != nullptr) {
+    // Decrement-before-write: the pending count clears where the write-back
+    // actually executes, above retries (a retried line stays retired — any
+    // elider that raced in meanwhile became an owner and rescheduled).
+    sink = std::make_unique<core::RetiringSink>(std::move(sink), elision);
   }
   return core::FlushWorker::shared().open_channel(std::move(sink), depth);
 }
@@ -113,7 +121,8 @@ struct Runtime::ThreadContext {
   ThreadContext(const RuntimeConfig& config, std::size_t slot_index,
                 void* log_base,
                 const std::shared_ptr<pmem::FaultInjector>& injector,
-                const std::shared_ptr<pmem::WearTracker>& wear)
+                const std::shared_ptr<pmem::WearTracker>& wear,
+                const std::shared_ptr<core::FlushElisionTable>& elision_table)
       : slot(slot_index),
         backend(config.flush, config.simulated_flush_ns),
         log_backend(config.flush, config.simulated_flush_ns),
@@ -144,14 +153,38 @@ struct Runtime::ThreadContext {
                           : &log_sink,
                       config.log_sync)
                 : nullptr),
-        flush_channel(open_flush_channel(config, injector, faults, wear)),
+        flush_channel(
+            open_flush_channel(config, injector, faults, wear, elision_table)),
+        retiring_fallback(
+            flush_channel != nullptr && elision_table != nullptr
+                ? std::make_unique<core::RetiringSink>(sync_data(),
+                                                       elision_table)
+                : nullptr),
         async_sink(flush_channel != nullptr
                        ? std::make_unique<core::AsyncFlushSink>(
-                             flush_channel, sync_data(), device_model(config))
+                             flush_channel,
+                             retiring_fallback != nullptr
+                                 ? static_cast<core::FlushSink*>(
+                                       retiring_fallback.get())
+                                 : sync_data(),
+                             device_model(config))
                        : nullptr),
-        ordered_sink(async_sink != nullptr
-                         ? static_cast<core::FlushSink*>(async_sink.get())
-                         : sync_data(),
+        elision(elision_table),
+        eliding_sink(elision != nullptr
+                         ? std::make_unique<core::ElidingSink>(
+                               async_sink != nullptr
+                                   ? static_cast<core::FlushSink*>(
+                                         async_sink.get())
+                                   : sync_data(),
+                               elision,
+                               /*immediate=*/async_sink == nullptr)
+                         : nullptr),
+        ordered_sink(eliding_sink != nullptr
+                         ? static_cast<core::FlushSink*>(eliding_sink.get())
+                         : (async_sink != nullptr
+                                ? static_cast<core::FlushSink*>(
+                                      async_sink.get())
+                                : sync_data()),
                      log.get()),
         ordered_sync(async_sink != nullptr && faults != nullptr
                          ? std::make_unique<core::LogOrderedSink>(sync_data(),
@@ -185,10 +218,13 @@ struct Runtime::ThreadContext {
   /// synchronous (retrying) path and the ring is never fed again.
   core::FlushSink& data_sink() noexcept {
     if (flush_degraded) {
+      // Degraded route bypasses elision: the medium is already misbehaving,
+      // so every write-back goes straight to the retrying synchronous path.
       if (ordered_sync) return *ordered_sync;
       return *sync_data();  // no log: plain retrying synchronous path
     }
     if (log) return ordered_sink;
+    if (eliding_sink) return *eliding_sink;
     if (async_sink) return *async_sink;
     return *sync_data();
   }
@@ -212,7 +248,17 @@ struct Runtime::ThreadContext {
   /// the AsyncFlushSink destructor drains the ring while the data region
   /// is still mapped (contexts die before the allocator in ~Runtime).
   std::shared_ptr<core::FlushChannel> flush_channel;
+  /// Elision + async: the ring-full overflow fallback executes write-backs
+  /// locally, bypassing the worker-side RetiringSink, so the fallback sink
+  /// must retire too — every owner path retires exactly once, whichever
+  /// side performs the write.
+  std::unique_ptr<core::RetiringSink> retiring_fallback;
   std::unique_ptr<core::AsyncFlushSink> async_sink;
+  /// Flush elision (NVC_ELIDE only; both null otherwise). The eliding sink
+  /// sits below the LogOrderedSink — the log sync for a line runs before
+  /// the elide/forward decision — and above the async sink/ring.
+  std::shared_ptr<core::FlushElisionTable> elision;
+  std::unique_ptr<core::ElidingSink> eliding_sink;
   core::LogOrderedSink ordered_sink;
   /// Degraded sync route (fault+async+log only): ordering decorator over
   /// the retrying synchronous sink, bypassing the ring.
@@ -239,6 +285,10 @@ Runtime::Runtime(RuntimeConfig config)
   }
   if (config_.wear_tracking) {
     wear_ = std::make_shared<pmem::WearTracker>();
+  }
+  if (config_.elide) {
+    elision_ =
+        std::make_shared<core::FlushElisionTable>(config_.elide_table_slots);
   }
 
   pmem::PmemRegion data =
@@ -307,7 +357,8 @@ Runtime::ThreadContext& Runtime::ctx_slow() {
                 slot * config_.log_segment_size
           : nullptr;
   contexts_.push_back(std::make_unique<ThreadContext>(config_, slot, log_base,
-                                                      injector_, wear_));
+                                                      injector_, wear_,
+                                                      elision_));
   ThreadContext* c = contexts_.back().get();
   tl_cache.emplace(instance_id_, c);
   return *c;
@@ -405,19 +456,25 @@ void Runtime::pstore(void* dst, const void* src, std::size_t len) {
                     piece);
       done += piece;
     }
-    if (c.async_sink && !c.flush_degraded) {
+    if ((c.async_sink && !c.flush_degraded) || c.elision) {
       // Write-after-enqueue hazard (DESIGN.md §8): if any line this store
       // touches is still queued in the flush-behind ring, the background
       // write-back may carry this store's new bytes — so this store's undo
       // record must be durable before the data write below. If the log
       // media rejects the sync, fall back to draining the ring: with no
-      // line of this store in flight, the hazard is gone.
+      // line of this store in flight, the hazard is gone. With elision
+      // (§13) the same hazard extends cross-thread: a line pending in the
+      // shared table may be carried by *another* context's scheduled
+      // write-back, so the pending probe joins the own-ring check.
       const auto a = reinterpret_cast<PmAddr>(dst);
       const LineAddr first = line_of(a);
       const LineAddr last = line_of(a + len - 1);
+      const bool own_ring = c.async_sink && !c.flush_degraded;
       for (LineAddr line = first; line <= last; ++line) {
-        if (c.async_sink->maybe_inflight(line)) {
-          if (!c.log->sync()) c.async_sink->drain();
+        const bool inflight = own_ring && c.async_sink->maybe_inflight(line);
+        const bool cross = c.elision && c.elision->pending(line);
+        if (inflight || cross) {
+          if (!c.log->sync() && own_ring) c.async_sink->drain();
           break;
         }
       }
@@ -530,6 +587,10 @@ RuntimeStats Runtime::stats() const {
       s.quarantined_lines += c->faults->quarantined_count();
       s.flush_degrades += c->flush_degraded ? 1 : 0;
       s.log_degrades += c->log_degraded ? 1 : 0;
+    }
+    if (c->eliding_sink) {
+      s.elided_flushes += c->eliding_sink->elided_count();
+      s.elision_reflushes += c->eliding_sink->reflushed_count();
     }
     if (const std::size_t size = c->policy->current_cache_size(); size > 0) {
       s.cache_sizes.push_back(size);

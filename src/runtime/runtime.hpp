@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/elision.hpp"
 #include "core/policy.hpp"
 #include "pmem/fault.hpp"
 #include "pmem/flush.hpp"
@@ -83,6 +84,15 @@ struct RuntimeConfig {
   /// and per-line wear. Off by default: the write-back hot path then keeps
   /// a single null-pointer test.
   bool wear_tracking = false;
+
+  /// FliT-style flush elision (NVC_ELIDE=1, DESIGN.md §13): one shared
+  /// core::FlushElisionTable dedups scheduled write-backs across contexts —
+  /// an eviction of a line whose write-back is already announced and not
+  /// yet started is skipped, and every commit-point drain re-checks its
+  /// elided lines. Off by default: the sink stack is unchanged.
+  bool elide = false;
+  /// Elision-table slot count (power of two; NVC_ELIDE_TABLE).
+  std::size_t elide_table_slots = 4096;
 };
 
 /// Statistics aggregated over all thread contexts.
@@ -106,6 +116,9 @@ struct RuntimeStats {
   std::uint64_t log_degrades = 0;      // contexts latched batched -> strict
   // Write admission (NVC_ADMIT; zero under the default `always` mode):
   std::uint64_t bypassed_stores = 0;   // stores written through past a cache
+  // Flush elision (NVC_ELIDE=1; zero when off):
+  std::uint64_t elided_flushes = 0;     // scheduled write-backs skipped
+  std::uint64_t elision_reflushes = 0;  // drain re-checks that flushed
   // Endurance accounting (NVC_WEAR=1; all zero when tracking is off):
   std::uint64_t media_line_writes = 0;   // write-backs that reached media
   std::uint64_t media_bytes_written = 0; // media_line_writes * line size
@@ -217,6 +230,10 @@ class Runtime {
   /// Endurance accounting (null unless config_.wear_tracking). Shared for
   /// the same lifetime reason: worker-side backends hold a reference.
   std::shared_ptr<pmem::WearTracker> wear_;
+  /// Flush-elision table (null unless config_.elide). One table for all
+  /// contexts — cross-thread dedup is the point — and shared because the
+  /// worker-side RetiringSink inside a FlushChannel may outlive us.
+  std::shared_ptr<core::FlushElisionTable> elision_;
   std::unique_ptr<pmem::PmemAllocator> allocator_;
   pmem::PmemRegion log_region_;
   std::uint64_t instance_id_;

@@ -1,0 +1,69 @@
+#include "structures/durable_map.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace nvc::structures {
+
+std::uint64_t DurableMap::reverse_bits(std::uint64_t x) noexcept {
+  x = ((x & 0x5555555555555555ULL) << 1) | ((x >> 1) & 0x5555555555555555ULL);
+  x = ((x & 0x3333333333333333ULL) << 2) | ((x >> 2) & 0x3333333333333333ULL);
+  x = ((x & 0x0F0F0F0F0F0F0F0FULL) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0FULL);
+  return __builtin_bswap64(x);
+}
+
+DurableMap::DurableMap(PSpace& ps, std::size_t buckets)
+    : ps_(ps), list_(&ps), mask_(buckets - 1), buckets_(buckets) {
+  NVC_REQUIRE(buckets >= 1 && is_pow2(buckets), "bucket count: power of two");
+  head_ = list_.make_head();  // sort 0 == so_dummy(0): bucket 0's dummy
+  buckets_[0].store(head_, std::memory_order_release);
+  for (std::size_t b = 1; b < buckets_.size(); ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+POffset DurableMap::bucket_start(std::size_t b) {
+  POffset start = buckets_[b].load(std::memory_order_acquire);
+  if (start != 0) return start;
+  // Parent-first lazy init: clear b's highest set bit. Searching for our
+  // dummy from the parent's dummy keeps init cost O(bucket load), the
+  // split-ordering trick.
+  const std::size_t parent =
+      b & ~(std::size_t{1} << (std::bit_width(b) - 1));
+  const POffset from = bucket_start(parent);
+  start = list_.insert_dummy(from, from, so_dummy(b));
+  POffset expected = 0;
+  buckets_[b].compare_exchange_strong(expected, start,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  return buckets_[b].load(std::memory_order_acquire);
+}
+
+bool DurableMap::insert(std::uint64_t key, std::uint64_t value) {
+  NVC_REQUIRE(key < (std::uint64_t{1} << 63), "keys must fit in 63 bits");
+  const POffset start = bucket_start(key & mask_);
+  return list_.insert(start, start, so_regular(key), key, value);
+}
+
+bool DurableMap::erase(std::uint64_t key, std::uint64_t* value_out) {
+  NVC_REQUIRE(key < (std::uint64_t{1} << 63), "keys must fit in 63 bits");
+  const POffset start = bucket_start(key & mask_);
+  return list_.erase(start, start, so_regular(key), value_out);
+}
+
+bool DurableMap::contains(std::uint64_t key, std::uint64_t* value_out) {
+  NVC_REQUIRE(key < (std::uint64_t{1} << 63), "keys must fit in 63 bits");
+  const POffset start = bucket_start(key & mask_);
+  return list_.contains(start, so_regular(key), value_out);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+DurableMap::recovered_contents() const {
+  // Dummies are even sorts; mappings are odd. Recovery never consults the
+  // volatile bucket table.
+  return list_.recover(head_,
+                       [](std::uint64_t sort) { return (sort & 1) != 0; });
+}
+
+}  // namespace nvc::structures

@@ -1,0 +1,73 @@
+// Durable lock-free hash map: split-ordered list (Shalev & Shavit) over the
+// durable Harris OrderedList. DESIGN.md §13.
+//
+// Everything durable lives in ONE ordered list whose sort keys are
+// bit-reversed user keys:
+//
+//   regular node (a mapping):  sort = reverse_bits(key) | 1   (odd)
+//   dummy node (a bucket):     sort = reverse_bits(bucket)    (even)
+//
+// Bit reversal makes bucket b's dummy an immediate predecessor of every key
+// hashing to b, so buckets are just shortcuts INTO the list. The bucket
+// table itself is volatile (a vector of atomic offsets, lazily initialized
+// parent-first); recovery needs none of it — the durable list alone is the
+// map: walk it, keep unmarked odd-sort nodes.
+//
+// Keys must be < 2^63 so that `reverse_bits(key) | 1` stays injective (the
+// top bit of the key would collide with the forced low bit of the sort).
+//
+// Durability is inherited wholesale from OrderedList's protocol: regular
+// inserts persist node-before-link, erases persist the mark, lookups help
+// (FliT-elidable). Dummy insertion uses the same node-before-link protocol,
+// so a durable chain never routes through an unpersisted dummy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "structures/ordered_list.hpp"
+#include "structures/pspace.hpp"
+
+namespace nvc::structures {
+
+class DurableMap {
+ public:
+  /// `buckets` must be a power of two. The table is fixed-size (no
+  /// resizing): split-ordering makes growth easy but this suite only needs
+  /// the durable face, and a fixed table keeps the crash-state space small.
+  DurableMap(PSpace& ps, std::size_t buckets = 16);
+
+  /// False (no overwrite) when `key` is already present.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  /// False when absent.
+  bool erase(std::uint64_t key, std::uint64_t* value_out = nullptr);
+  bool contains(std::uint64_t key, std::uint64_t* value_out = nullptr);
+
+  /// Recovery reader: the (key, value) mappings a restarted process would
+  /// observe in the durable image (split-order = bit-reversed-key order).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> recovered_contents()
+      const;
+
+  static std::uint64_t reverse_bits(std::uint64_t x) noexcept;
+  static std::uint64_t so_regular(std::uint64_t key) noexcept {
+    return reverse_bits(key) | 1;
+  }
+  static std::uint64_t so_dummy(std::uint64_t bucket) noexcept {
+    return reverse_bits(bucket);
+  }
+
+ private:
+  /// Offset of bucket b's dummy, initializing it (and, recursively, its
+  /// parent — b with its highest set bit cleared) on first touch.
+  POffset bucket_start(std::size_t b);
+
+  PSpace& ps_;
+  detail::OrderedList list_;
+  std::size_t mask_;
+  POffset head_;  // bucket 0's dummy = the list head (sort 0)
+  std::vector<std::atomic<POffset>> buckets_;
+};
+
+}  // namespace nvc::structures

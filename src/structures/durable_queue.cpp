@@ -1,0 +1,101 @@
+#include "structures/durable_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace nvc::structures {
+
+namespace {
+
+bool cas(std::atomic<std::uint64_t>& word, std::uint64_t expected,
+         std::uint64_t desired) {
+  return word.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+}
+
+}  // namespace
+
+DurableQueue::DurableQueue(PSpace& ps) : ps_(ps) {
+  const POffset sentinel = ps_.alloc_lines(1);
+  ps_.word(sentinel + kValue).store(0, std::memory_order_relaxed);
+  ps_.word(sentinel + kNext).store(0, std::memory_order_relaxed);
+  ps_.persist(sentinel, kCacheLineSize);
+  ps_.word(kHead).store(sentinel, std::memory_order_relaxed);
+  ps_.word(kTail).store(sentinel, std::memory_order_release);
+  ps_.persist(kHead, 2 * sizeof(std::uint64_t));
+}
+
+void DurableQueue::enqueue(std::uint64_t value) {
+  const POffset n = ps_.alloc_lines(1);
+  ps_.word(n + kValue).store(value, std::memory_order_relaxed);
+  ps_.word(n + kNext).store(0, std::memory_order_release);
+  // Node before link: the durable chain must never reach an unpersisted
+  // node, so the initialized node line goes to media first.
+  ps_.persist(n, kCacheLineSize);
+  for (;;) {
+    ps_.yield();
+    // Tail is volatile-only (recovery re-derives it), so plain loads; the
+    // link word is ploaded — whatever this op concludes rests on it.
+    const POffset last = ps_.word(kTail).load(std::memory_order_acquire);
+    const POffset next = ps_.pload(last + kNext);
+    if (last != ps_.word(kTail).load(std::memory_order_acquire)) continue;
+    if (next == 0) {
+      // Publish-and-persist: the link CAS and its write-back are one
+      // tagged unit (helpers may elide only once the link is on media).
+      if (ps_.cas_persist(last + kNext, 0, n)) {
+        ps_.yield();  // window: tail observably lags — helpers kick in here
+        cas(ps_.word(kTail), last, n);  // tail is volatile; recovery walks
+        return;
+      }
+    } else {
+      // Tail lags: the winning enqueuer's link was just ploaded (helped
+      // durable, or elided as already-durable — the FliT case), so swing
+      // the tail over it and retry.
+      cas(ps_.word(kTail), last, next);
+    }
+  }
+}
+
+bool DurableQueue::dequeue(std::uint64_t* value_out) {
+  for (;;) {
+    ps_.yield();
+    // Head and the head node's link are ploaded: an "empty" verdict (and
+    // the position every successful dequeue pops from) rests on both being
+    // durable-current — a racer's parked head write-back must not leave the
+    // durable image behind the state this return reports.
+    const POffset first = ps_.pload(kHead);
+    const POffset last = ps_.word(kTail).load(std::memory_order_acquire);
+    const POffset next = ps_.pload(first + kNext);
+    if (first != ps_.word(kHead).load(std::memory_order_acquire)) continue;
+    if (first == last) {
+      if (next == 0) return false;  // linearizably empty
+      // Tail lags behind a half-finished enqueue: its link was ploaded
+      // above; swing the tail over it, exactly as the enqueue path does.
+      cas(ps_.word(kTail), last, next);
+      continue;
+    }
+    const std::uint64_t value =
+        ps_.word(next + kValue).load(std::memory_order_acquire);
+    // Durable linearization point: the new head reaches media before the
+    // dequeue returns, and the tagged window covers the CAS itself.
+    if (ps_.cas_persist(kHead, first, next)) {
+      if (value_out != nullptr) *value_out = value;
+      return true;
+    }
+  }
+}
+
+std::vector<std::uint64_t> DurableQueue::recovered_contents() const {
+  std::vector<std::uint64_t> out;
+  POffset curr = ps_.durable_u64(kHead);
+  if (curr == 0) return out;  // header never persisted: empty queue
+  for (;;) {
+    const POffset next = ps_.durable_u64(curr + kNext);
+    if (next == 0) break;
+    out.push_back(ps_.durable_u64(next + kValue));
+    curr = next;
+  }
+  return out;
+}
+
+}  // namespace nvc::structures

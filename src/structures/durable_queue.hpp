@@ -1,0 +1,64 @@
+// Durable lock-free MPMC queue (Michael–Scott with FliT-style persistence,
+// after Friedman et al.'s durable queue — PAPERS.md). DESIGN.md §13.
+//
+// Layout in the PSpace arena (offsets, 0 = null):
+//   header line 0:  +0 head (atomic offset)   +8 tail (atomic offset)
+//   node (1 line):  +0 value                  +8 next (atomic offset)
+//
+// Persistence protocol:
+//   enqueue — persist the initialized node (value + null next) BEFORE the
+//     link CAS; persist the predecessor's link after winning it (writer
+//     protocol, tagged). A thread that finds the tail lagging HELPS: it
+//     persist_help()s the dangling link before swinging the tail — the
+//     FliT elision case: when the winning enqueuer's tagged flush already
+//     completed, the helper skips its redundant flush.
+//   dequeue — after winning the head CAS, persist the head word before
+//     returning (the durable linearization point). The tail word is never
+//     required durable: recovery ignores it and re-derives the tail by
+//     walking the chain.
+//
+// The durable image is self-describing: recovered contents = the chain of
+// durable next links from the durable head. The chain is prefix-closed
+// (node-before-link write ordering), and every completed operation's
+// effect is durable before it returns, so the recovered state is always
+// explained by a linearization of the pre-crash history in which every
+// completed op appears (durable linearizability — checked by
+// src/testing/linearizability.hpp).
+//
+// No reclamation: the arena is a bump allocator and dequeued sentinels are
+// simply abandoned (the tests and benchmarks size their arenas; ABA cannot
+// occur because offsets are never reused).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "structures/pspace.hpp"
+
+namespace nvc::structures {
+
+class DurableQueue {
+ public:
+  /// Builds a fresh queue in `ps` (allocates the sentinel, persists the
+  /// header). The space must be freshly constructed (header line free).
+  explicit DurableQueue(PSpace& ps);
+
+  void enqueue(std::uint64_t value);
+  /// False when the queue is (linearizably) empty.
+  bool dequeue(std::uint64_t* value_out);
+
+  /// Recovery reader: queue contents a restarted process would observe in
+  /// the space's durable image (front first).
+  std::vector<std::uint64_t> recovered_contents() const;
+
+ private:
+  static constexpr POffset kHead = 0;  // header word offsets
+  static constexpr POffset kTail = 8;
+  static constexpr POffset kValue = 0;  // node word offsets
+  static constexpr POffset kNext = 8;
+
+  PSpace& ps_;
+};
+
+}  // namespace nvc::structures

@@ -1,0 +1,101 @@
+#include "structures/durable_skiplist.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace nvc::structures {
+
+std::size_t DurableSkiplist::height(std::uint64_t key) noexcept {
+  const std::uint64_t h = splitmix64_mix(key);
+  const std::size_t z = static_cast<std::size_t>(std::countr_zero(h));
+  return z + 1 < kMaxLevel ? z + 1 : kMaxLevel;
+}
+
+DurableSkiplist::DurableSkiplist(PSpace& ps, std::size_t max_towers)
+    : ps_(ps), list_(&ps), pool_cap_(max_towers) {
+  head_ = list_.make_head();
+  pool_ = std::make_unique<Tower[]>(pool_cap_);
+  index_head_.key = 0;
+  index_head_.node = head_;
+  for (auto& n : index_head_.next) n.store(nullptr, std::memory_order_relaxed);
+}
+
+POffset DurableSkiplist::hint(std::uint64_t key) {
+  const Tower* pred = &index_head_;
+  POffset best = head_;
+  for (std::size_t lvl = kMaxLevel; lvl-- > 0;) {
+    for (;;) {
+      const Tower* next = pred->next[lvl].load(std::memory_order_acquire);
+      if (next == nullptr || next->key >= key) break;
+      pred = next;
+      // Only a node currently observed UNMARKED may seed a traversal: an
+      // erased node's frozen forward chain rejoins the live list at an
+      // arbitrary later point, so starting inside it could skip the
+      // target's live position entirely. Towers over erased nodes stay
+      // linked (walked, never returned); `best` is monotone in key.
+      if ((ps_.word(pred->node + detail::kNext)
+               .load(std::memory_order_acquire) &
+           detail::kMark) == 0) {
+        best = pred->node;
+      }
+    }
+  }
+  return best;
+}
+
+void DurableSkiplist::link_tower(std::uint64_t key, POffset node) {
+  const std::size_t h = height(key);
+  const std::size_t i = pool_used_.fetch_add(1, std::memory_order_acq_rel);
+  if (i >= pool_cap_) return;  // hints degrade; correctness lives below
+  Tower* t = &pool_[i];
+  t->key = key;
+  t->node = node;
+  for (std::size_t lvl = 0; lvl < h; ++lvl) {
+    for (;;) {
+      Tower* pred = &index_head_;
+      for (;;) {
+        Tower* next = pred->next[lvl].load(std::memory_order_acquire);
+        if (next == nullptr || next->key >= key) break;
+        pred = next;
+      }
+      Tower* succ = pred->next[lvl].load(std::memory_order_acquire);
+      if (succ != nullptr && succ->key < key) continue;  // pred moved; rescan
+      t->next[lvl].store(succ, std::memory_order_release);
+      if (pred->next[lvl].compare_exchange_strong(succ, t,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        break;
+      }
+    }
+  }
+}
+
+bool DurableSkiplist::insert(std::uint64_t key, std::uint64_t value) {
+  NVC_REQUIRE(key >= 1, "key 0 is the bottom head dummy");
+  const POffset start = hint(key);
+  POffset node = 0;
+  if (!list_.insert(start, head_, key, key, value, &node)) return false;
+  // The tower is volatile and added after the durable insert completed; a
+  // crash in between loses only a hint.
+  link_tower(key, node);
+  return true;
+}
+
+bool DurableSkiplist::erase(std::uint64_t key, std::uint64_t* value_out) {
+  NVC_REQUIRE(key >= 1, "key 0 is the bottom head dummy");
+  return list_.erase(hint(key), head_, key, value_out);
+}
+
+bool DurableSkiplist::contains(std::uint64_t key, std::uint64_t* value_out) {
+  NVC_REQUIRE(key >= 1, "key 0 is the bottom head dummy");
+  return list_.contains(hint(key), key, value_out);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+DurableSkiplist::recovered_contents() const {
+  return list_.recover(head_, [](std::uint64_t) { return true; });
+}
+
+}  // namespace nvc::structures

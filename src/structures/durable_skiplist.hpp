@@ -1,0 +1,84 @@
+// Durable lock-free skiplist: a volatile tower index over the durable
+// Harris OrderedList bottom level. DESIGN.md §13.
+//
+// Only the bottom level is persistent — it IS an OrderedList with
+// sort = key, and every durability obligation (node-before-link,
+// mark-persist, FliT helping) is discharged there. The towers are a
+// volatile, insert-only search accelerator:
+//
+//   - tower height is DETERMINISTIC, h(key) = 1 + ctz(mix64(key)) capped at
+//     kMaxLevel, so the structure's shape is a pure function of its key set
+//     (no RNG: the turnstile-scheduled crash tests stay reproducible);
+//   - towers store a bottom-node offset used only as a search START HINT.
+//     A hint may go stale (its node erased): that is safe, because marked
+//     nodes keep valid forward links in the arena (never reclaimed), so a
+//     Harris find starting from one still reaches the target window;
+//   - towers are never removed. Erase only touches the bottom list; a
+//     stale tower merely costs a few extra hops.
+//
+// Recovery rebuilds from the durable bottom chain alone (towers are
+// volatile and deterministic, so a restarted process regrows the identical
+// index by re-inserting the recovered keys).
+//
+// Keys must be >= 1 (sort 0 is the bottom list's head dummy).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "structures/ordered_list.hpp"
+#include "structures/pspace.hpp"
+
+namespace nvc::structures {
+
+class DurableSkiplist {
+ public:
+  static constexpr std::size_t kMaxLevel = 8;
+
+  /// `max_towers` bounds the volatile tower pool; on exhaustion new keys
+  /// simply get no tower (hints degrade, correctness does not).
+  explicit DurableSkiplist(PSpace& ps, std::size_t max_towers = 1 << 12);
+
+  /// False (no overwrite) when `key` is already present. Requires key >= 1.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  /// False when absent.
+  bool erase(std::uint64_t key, std::uint64_t* value_out = nullptr);
+  bool contains(std::uint64_t key, std::uint64_t* value_out = nullptr);
+
+  /// Recovery reader: (key, value) in key order from the durable bottom
+  /// chain.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> recovered_contents()
+      const;
+
+  /// Deterministic tower height for `key` (exposed for the tests).
+  static std::size_t height(std::uint64_t key) noexcept;
+
+ private:
+  struct Tower {
+    std::uint64_t key = 0;
+    POffset node = 0;  // bottom-list hint; may be stale (marked) — safe
+    std::array<std::atomic<Tower*>, kMaxLevel> next{};
+  };
+
+  /// Bottom-list start hint: the bottom node of the largest indexed key
+  /// strictly below `key` (the index head when none).
+  POffset hint(std::uint64_t key);
+  /// Link a tower for (key -> node) into levels [0, h). Insert-only CAS
+  /// races are retried per level; pool exhaustion silently skips.
+  void link_tower(std::uint64_t key, POffset node);
+
+  PSpace& ps_;
+  detail::OrderedList list_;
+  POffset head_;  // bottom list head (sort 0)
+
+  std::unique_ptr<Tower[]> pool_;
+  std::size_t pool_cap_;
+  std::atomic<std::size_t> pool_used_{0};
+  Tower index_head_;
+};
+
+}  // namespace nvc::structures

@@ -1,0 +1,195 @@
+#include "structures/ordered_list.hpp"
+
+#include "common/assert.hpp"
+
+namespace nvc::structures::detail {
+
+namespace {
+
+bool cas(std::atomic<std::uint64_t>& word, std::uint64_t expected,
+         std::uint64_t desired) {
+  return word.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+}
+
+}  // namespace
+
+POffset OrderedList::make_head() {
+  const POffset head = ps_->alloc_lines(1);
+  ps_->word(head + kSort).store(0, std::memory_order_relaxed);
+  ps_->word(head + kKey).store(0, std::memory_order_relaxed);
+  ps_->word(head + kValue).store(0, std::memory_order_relaxed);
+  ps_->word(head + kNext).store(0, std::memory_order_release);
+  ps_->persist(head, kCacheLineSize);
+  return head;
+}
+
+OrderedList::Find OrderedList::find(POffset start, std::uint64_t sort) {
+  // Every link hop is a pload: the window this find returns — and any
+  // verdict derived from it — depends on each traversed link, so each must
+  // be durable (or its flush elided as already-durable) before the caller
+  // acts. Node fields other than next are immutable and were persisted
+  // before the node was ever linked, so plain loads suffice for them.
+retry:
+  POffset pred = start;
+  std::uint64_t pred_w = ps_->pload(pred + kNext);
+  // A stale-hint start may itself be marked: read through it (marked nodes
+  // keep their forward links and the arena never reuses offsets) but never
+  // CAS its word — only preds this traversal observed clean get unlinked.
+  bool pred_clean = (pred_w & kMark) == 0;
+  POffset curr = pred_w & kPtr;
+  while (curr != 0) {
+    ps_->yield();
+    const std::uint64_t next_w = ps_->pload(curr + kNext);
+    if ((next_w & kMark) != 0) {
+      // curr is logically deleted; the mark was just ploaded (helped
+      // durable). Unlink it — a failed unlink means pred moved: restart.
+      if (pred_clean && !cas(ps_->word(pred + kNext), curr, next_w & kPtr)) {
+        goto retry;
+      }
+      curr = next_w & kPtr;
+      continue;
+    }
+    if (sort_of(curr) >= sort) break;
+    pred = curr;
+    pred_clean = true;
+    curr = next_w & kPtr;
+  }
+  return {pred, curr};
+}
+
+bool OrderedList::insert(POffset start, POffset safe, std::uint64_t sort,
+                         std::uint64_t key, std::uint64_t value,
+                         POffset* node_out) {
+  NVC_ASSERT(sort > 0, "sort 0 is the head dummy");
+  POffset n = 0;
+  for (;;) {
+    ps_->yield();
+    const Find w = find(start, sort);
+    if (w.curr != 0 && sort_of(w.curr) == sort) {
+      // Taken. The links that prove it were ploaded during find(); the
+      // matched node's fields were durable before it was ever linked.
+      return false;
+    }
+    if (n == 0) {
+      n = ps_->alloc_lines(1);
+      ps_->word(n + kSort).store(sort, std::memory_order_relaxed);
+      ps_->word(n + kKey).store(key, std::memory_order_relaxed);
+      ps_->word(n + kValue).store(value, std::memory_order_relaxed);
+    }
+    ps_->word(n + kNext).store(w.curr, std::memory_order_release);
+    // Node before link: a durable link must never point at an unpersisted
+    // node, so the fully initialized node line goes to media first.
+    ps_->persist(n, kCacheLineSize);
+    // Publish-and-persist: the link CAS and its write-back are one tagged
+    // unit (helpers may elide only once the link is on media).
+    if (ps_->cas_persist(w.pred + kNext, w.curr, n)) {
+      if (node_out != nullptr) *node_out = n;
+      return true;
+    }
+    // The window moved — or the hint start was dead (a marked pred's word
+    // never matches an unmarked expected). Retry from the safe start.
+    start = safe;
+  }
+}
+
+POffset OrderedList::insert_dummy(POffset start, POffset safe,
+                                  std::uint64_t sort) {
+  POffset n = 0;
+  for (;;) {
+    ps_->yield();
+    const Find w = find(start, sort);
+    if (w.curr != 0 && sort_of(w.curr) == sort) {
+      // Lost the race (or the dummy predates us): the existing dummy is
+      // the bucket; find() ploaded the links that reach it.
+      return w.curr;
+    }
+    if (n == 0) {
+      n = ps_->alloc_lines(1);
+      ps_->word(n + kSort).store(sort, std::memory_order_relaxed);
+      ps_->word(n + kKey).store(0, std::memory_order_relaxed);
+      ps_->word(n + kValue).store(0, std::memory_order_relaxed);
+    }
+    ps_->word(n + kNext).store(w.curr, std::memory_order_release);
+    ps_->persist(n, kCacheLineSize);
+    if (ps_->cas_persist(w.pred + kNext, w.curr, n)) return n;
+    start = safe;
+  }
+}
+
+bool OrderedList::erase(POffset start, POffset safe, std::uint64_t sort,
+                        std::uint64_t* value_out) {
+  for (;;) {
+    ps_->yield();
+    const Find w = find(start, sort);
+    start = safe;  // any retry below resumes from the safe start
+    if (w.curr == 0 || sort_of(w.curr) != sort) return false;
+    const std::uint64_t next_w = ps_->pload(w.curr + kNext);
+    if ((next_w & kMark) != 0) {
+      // A competing eraser won. Our "absent" answer depends on its mark,
+      // which the pload above just made durable-dependable.
+      return false;
+    }
+    // Publish-and-persist: the mark CAS is the durable linearization point
+    // — the mark reaches media before the erase returns, and the tagged
+    // window covers the CAS itself so helper elisions stay sound.
+    if (ps_->cas_persist(w.curr + kNext, next_w, next_w | kMark)) {
+      if (value_out != nullptr) {
+        *value_out =
+            ps_->word(w.curr + kValue).load(std::memory_order_relaxed);
+      }
+      // Volatile cleanup only — never persisted; a stale durable link
+      // through the marked node is skipped by recovery.
+      ps_->yield();  // window: the mark is observable but not yet unlinked
+      cas(ps_->word(w.pred + kNext), w.curr, next_w & kPtr);
+      return true;
+    }
+  }
+}
+
+bool OrderedList::contains(POffset start, std::uint64_t sort,
+                           std::uint64_t* value_out) {
+  // Read-only traversal (no unlinking), same pload discipline as find():
+  // whichever verdict comes out, every link it rests on is durable (or
+  // elided-as-durable) by the time we return.
+  POffset pred = start;
+  POffset curr = ps_->pload(pred + kNext) & kPtr;
+  while (curr != 0) {
+    ps_->yield();
+    const std::uint64_t next_w = ps_->pload(curr + kNext);
+    const std::uint64_t s = sort_of(curr);
+    if (s >= sort) {
+      if (s != sort) return false;
+      if ((next_w & kMark) != 0) {
+        // Present but marked: absent. The ploaded mark carries the verdict.
+        return false;
+      }
+      if (value_out != nullptr) {
+        *value_out = ps_->word(curr + kValue).load(std::memory_order_relaxed);
+      }
+      return true;
+    }
+    pred = curr;
+    curr = next_w & kPtr;
+  }
+  return false;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> OrderedList::recover(
+    POffset head, bool (*keep)(std::uint64_t sort)) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  POffset curr = ps_->durable_u64(head + kNext) & kPtr;
+  while (curr != 0) {
+    const std::uint64_t next_w = ps_->durable_u64(curr + kNext);
+    const std::uint64_t sort = ps_->durable_u64(curr + kSort);
+    if ((next_w & kMark) == 0 && keep(sort)) {
+      out.emplace_back(ps_->durable_u64(curr + kKey),
+                       ps_->durable_u64(curr + kValue));
+    }
+    curr = next_w & kPtr;
+  }
+  return out;
+}
+
+}  // namespace nvc::structures::detail

@@ -1,0 +1,112 @@
+// Durable lock-free ordered list (Harris, with FliT-style persistence) —
+// the shared core under DurableMap (split-ordered) and DurableSkiplist
+// (bottom level). DESIGN.md §13.
+//
+// Nodes are one cache line each in a PSpace arena, linked by offsets:
+//
+//   +0  sort  — total-order key (immutable after init)
+//   +8  key   — user key (immutable)
+//   +16 value — user value (immutable; no in-place update op)
+//   +24 next  — atomic offset; LOW BIT = deletion mark (Harris)
+//
+// Persistence protocol (the durable-linearizability contract every op
+// keeps: anything a completed operation's return value depends on is
+// durable before it returns):
+//
+//   insert  — persist the fully initialized node line, THEN CAS the
+//             predecessor link, THEN persist the link (writer protocol:
+//             tagged, so helpers can elide). Node-before-link is the write
+//             ordering that makes the durable chain prefix-closed: a
+//             durable link never points at an unpersisted node.
+//   erase   — CAS the mark into the victim's next word, persist it (the
+//             durable linearization point), then best-effort volatile
+//             unlink. Physical unlinks are never persisted — recovery
+//             skips marked nodes by reading the durable mark.
+//   lookup  — helping persists (FliT): a positive answer depends on the
+//             matched node and the link that reached it; an "absent"
+//             answer that observed a competing eraser's mark depends on
+//             that mark. Both are persist_help — elidable exactly when the
+//             writer's tagged flush already completed.
+//
+// Recovery reads the durable image only: walk the chain by durable next
+// words, keep nodes the caller's predicate accepts whose durable mark is
+// clear. The durable chain is always a consistent prefix of the logical
+// list (see DESIGN.md §13 for the ordering argument).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "structures/pspace.hpp"
+
+namespace nvc::structures::detail {
+
+inline constexpr POffset kSort = 0;
+inline constexpr POffset kKey = 8;
+inline constexpr POffset kValue = 16;
+inline constexpr POffset kNext = 24;
+inline constexpr std::uint64_t kMark = 1;
+inline constexpr std::uint64_t kPtr = ~kMark;
+
+class OrderedList {
+ public:
+  explicit OrderedList(PSpace* ps) : ps_(ps) {}
+
+  /// Allocate and initialize a head dummy (sort 0, smaller than every
+  /// element sort) and persist it. Returns its offset.
+  POffset make_head();
+
+  /// Insert (key, value) at total-order position `sort`, searching from
+  /// node `start`. False (and helping persists) when `sort` is taken. On
+  /// success `node_out` (if given) receives the new node's offset.
+  ///
+  /// `safe` is the retry start: a node guaranteed to precede `sort` in the
+  /// LIVE list forever (a head or an unerasable dummy). `start` may be a
+  /// stale hint that gets marked (or already rejoined the dead chain past
+  /// the target), in which case the publication CAS fails — every retry
+  /// resumes from `safe` so the op cannot livelock on a dead window.
+  bool insert(POffset start, POffset safe, std::uint64_t sort,
+              std::uint64_t key, std::uint64_t value,
+              POffset* node_out = nullptr);
+
+  /// Insert a dummy node (split-order bucket sentinel) at `sort`; returns
+  /// the offset of the dummy — preexisting or newly linked.
+  POffset insert_dummy(POffset start, POffset safe, std::uint64_t sort);
+
+  /// Mark + persist + best-effort unlink the node at `sort`. False when
+  /// absent (or a competing eraser won — its mark is helped durable).
+  bool erase(POffset start, POffset safe, std::uint64_t sort,
+             std::uint64_t* value_out);
+
+  /// Read-only membership probe with helping persists.
+  bool contains(POffset start, std::uint64_t sort,
+                std::uint64_t* value_out);
+
+  /// Durable-image walk from `head`: (key, value) of every node whose
+  /// durable mark is clear and whose sort `keep_dummies ? any : odd-sort
+  /// elements only`... callers pass a predicate instead:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> recover(
+      POffset head, bool (*keep)(std::uint64_t sort)) const;
+
+ private:
+  struct Find {
+    POffset pred;
+    POffset curr;  // 0, or first node with sort >= target
+  };
+
+  /// Harris find: returns the insertion window, unlinking marked nodes on
+  /// the way (their marks are helped durable first — an "absent" verdict
+  /// downstream may depend on them). Unlinks are attempted only from a
+  /// pred this traversal observed clean; a marked `start` is read through
+  /// without CASing (its forward links still reach the live tail).
+  Find find(POffset start, std::uint64_t sort);
+
+  std::uint64_t sort_of(POffset n) noexcept {
+    return ps_->word(n + kSort).load(std::memory_order_relaxed);
+  }
+
+  PSpace* ps_;
+};
+
+}  // namespace nvc::structures::detail

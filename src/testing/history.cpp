@@ -1,0 +1,86 @@
+#include "testing/history.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nvc::testing {
+
+const char* op_name(OpCode code) noexcept {
+  switch (code) {
+    case OpCode::kEnqueue:
+      return "enqueue";
+    case OpCode::kDequeue:
+      return "dequeue";
+    case OpCode::kInsert:
+      return "insert";
+    case OpCode::kErase:
+      return "erase";
+    case OpCode::kContains:
+      return "contains";
+  }
+  return "?";
+}
+
+std::string Op::describe() const {
+  std::ostringstream out;
+  out << "t" << thread << ":" << op_name(code) << "(" << arg;
+  if (code == OpCode::kInsert) out << "," << arg2;
+  out << ")";
+  if (res == kNoResponse) {
+    out << "->pending";
+  } else {
+    out << "->" << (ok ? "ok" : "no");
+    if (code != OpCode::kEnqueue && code != OpCode::kInsert && ok) {
+      out << ":" << ret;
+    }
+  }
+  out << "@[" << inv << "," << (res == kNoResponse ? -1 : (long long)res)
+      << "]";
+  return out.str();
+}
+
+HistoryRecorder::HistoryRecorder(std::size_t threads, Clock clock)
+    : clock_(std::move(clock)), lanes_(threads) {}
+
+std::size_t HistoryRecorder::begin(std::size_t thread, OpCode code,
+                                   std::uint64_t arg, std::uint64_t arg2) {
+  NVC_REQUIRE(thread < lanes_.size(), "lane out of range");
+  Op op;
+  op.thread = thread;
+  op.code = code;
+  op.arg = arg;
+  op.arg2 = arg2;
+  op.inv = tick();
+  lanes_[thread].push_back(op);
+  return lanes_[thread].size() - 1;
+}
+
+void HistoryRecorder::end(std::size_t thread, std::size_t idx, bool ok,
+                          std::uint64_t ret) {
+  Op& op = lanes_[thread][idx];
+  NVC_ASSERT(op.res == kNoResponse, "double end()");
+  op.ok = ok;
+  op.ret = ret;
+  op.res = tick();
+}
+
+std::vector<Op> HistoryRecorder::snapshot() const {
+  std::vector<Op> out;
+  for (const auto& lane : lanes_) out.insert(out.end(), lane.begin(), lane.end());
+  std::sort(out.begin(), out.end(),
+            [](const Op& a, const Op& b) { return a.inv < b.inv; });
+  return out;
+}
+
+std::vector<Op> HistoryRecorder::cut(std::uint64_t event) const {
+  std::vector<Op> out;
+  for (const Op& op : snapshot()) {
+    if (op.inv > event) continue;
+    Op c = op;
+    if (c.res != kNoResponse && c.res > event) c.res = kNoResponse;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace nvc::testing

@@ -1,0 +1,115 @@
+#include "testing/linearizability.hpp"
+
+namespace nvc::testing {
+
+bool QueueModel::apply(State& s, const Op& op) {
+  switch (op.code) {
+    case OpCode::kEnqueue:
+      s.push_back(op.arg);
+      return op.ok;
+    case OpCode::kDequeue:
+      if (!op.ok) return s.empty();
+      if (s.empty() || s.front() != op.ret) return false;
+      s.pop_front();
+      return true;
+    default:
+      return false;  // queue histories contain queue ops only
+  }
+}
+
+std::vector<QueueModel::State> QueueModel::apply_pending(const State& s,
+                                                         const Op& op) {
+  std::vector<State> out;
+  switch (op.code) {
+    case OpCode::kEnqueue: {
+      State next = s;
+      next.push_back(op.arg);
+      out.push_back(std::move(next));
+      break;
+    }
+    case OpCode::kDequeue: {
+      // Unknown outcome: on an empty queue it would have returned false
+      // (no effect); otherwise it pops the front, whatever it was.
+      if (s.empty()) {
+        out.push_back(s);
+      } else {
+        State next = s;
+        next.pop_front();
+        out.push_back(std::move(next));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+std::string QueueModel::encode(const State& s) {
+  std::ostringstream out;
+  for (std::uint64_t v : s) out << v << ",";
+  return out.str();
+}
+
+bool MapModel::apply(State& s, const Op& op) {
+  const auto it = s.find(op.arg);
+  switch (op.code) {
+    case OpCode::kInsert:
+      if (it != s.end()) return !op.ok;  // no-overwrite insert fails
+      if (!op.ok) return false;
+      s.emplace(op.arg, op.arg2);
+      return true;
+    case OpCode::kErase:
+      if (it == s.end()) return !op.ok;
+      if (!op.ok || op.ret != it->second) return false;
+      s.erase(it);
+      return true;
+    case OpCode::kContains:
+      if (it == s.end()) return !op.ok;
+      return op.ok && op.ret == it->second;
+    default:
+      return false;  // map histories contain map ops only
+  }
+}
+
+std::vector<MapModel::State> MapModel::apply_pending(const State& s,
+                                                     const Op& op) {
+  std::vector<State> out;
+  const auto it = s.find(op.arg);
+  switch (op.code) {
+    case OpCode::kInsert: {
+      if (it != s.end()) {
+        out.push_back(s);  // would have returned false: no effect
+      } else {
+        State next = s;
+        next.emplace(op.arg, op.arg2);
+        out.push_back(std::move(next));
+      }
+      break;
+    }
+    case OpCode::kErase: {
+      if (it == s.end()) {
+        out.push_back(s);
+      } else {
+        State next = s;
+        next.erase(op.arg);
+        out.push_back(std::move(next));
+      }
+      break;
+    }
+    case OpCode::kContains:
+      out.push_back(s);  // read-only either way
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::string MapModel::encode(const State& s) {
+  std::ostringstream out;
+  for (const auto& [k, v] : s) out << k << ":" << v << ",";
+  return out.str();
+}
+
+}  // namespace nvc::testing

@@ -1,0 +1,186 @@
+// Bounded linearizability + durable-linearizability checking (Wing & Gong
+// style search with memoization) for the durable structure suite.
+//
+// check_linearizable<Model>(ops) — is there a total order of the ops,
+// consistent with their real-time order (op A precedes op B iff
+// res(A) < inv(B)) and with the sequential Model, matching every recorded
+// return value? Used by the stress tests on complete histories.
+//
+// check_durable<Model>(ops, recovered) — the post-crash oracle. `ops` is a
+// crash cut (HistoryRecorder::cut): completed ops carry their observed
+// returns; PENDING ops (res == kNoResponse) were in flight at the crash.
+// The durable-linearizability condition checked (Izraelevitz et al., the
+// definition DESIGN.md §13 quotes): there exists a linearization of
+//
+//   ALL completed ops (their effects and return values are contractual:
+//   each op persisted what its return depends on before returning), plus
+//   ANY SUBSET of the pending ops (each with any outcome the sequential
+//   model permits — their returns were never observed),
+//
+// consistent with real-time order, that drives the model exactly onto the
+// recovered state. No such linearization = durability violation.
+//
+// The search is exponential in the worst case; histories are capped at 64
+// ops (a bitmask) and a node budget converts pathological cases into an
+// explicit kBudget verdict instead of a hang. Memoizing visited
+// (mask, state) pairs keeps realistic histories (dozens of ops, heavy
+// real-time ordering) comfortably inside the budget.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "testing/history.hpp"
+
+namespace nvc::testing {
+
+enum class LinVerdict { kOk, kViolation, kBudget };
+
+struct LinResult {
+  LinVerdict verdict = LinVerdict::kOk;
+  std::string detail;  // on violation: the history that has no witness
+  std::size_t nodes = 0;
+
+  bool ok() const noexcept { return verdict == LinVerdict::kOk; }
+};
+
+/// Sequential FIFO queue. Op mapping: kEnqueue(arg=value, ok=true);
+/// kDequeue(ok=false ⇔ empty, ret=front).
+struct QueueModel {
+  using State = std::deque<std::uint64_t>;
+  static bool apply(State& s, const Op& op);
+  static std::vector<State> apply_pending(const State& s, const Op& op);
+  static std::string encode(const State& s);
+};
+
+/// Sequential map. Op mapping: kInsert(arg=key, arg2=value, ok ⇔ newly
+/// inserted — no overwrite); kErase(arg=key, ok ⇔ present, ret=old value);
+/// kContains(arg=key, ok ⇔ present, ret=value).
+struct MapModel {
+  using State = std::map<std::uint64_t, std::uint64_t>;
+  static bool apply(State& s, const Op& op);
+  static std::vector<State> apply_pending(const State& s, const Op& op);
+  static std::string encode(const State& s);
+};
+
+namespace detail {
+
+template <typename Model>
+class LinSearch {
+ public:
+  LinSearch(const std::vector<Op>& ops, const typename Model::State* recovered,
+            std::size_t budget)
+      : ops_(ops), recovered_(recovered), budget_(budget) {
+    NVC_REQUIRE(ops.size() <= 64, "history too long for the bitmask search");
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].res != kNoResponse) completed_ |= bit(i);
+    }
+  }
+
+  LinResult run() {
+    typename Model::State init{};
+    LinResult r;
+    const bool found = dfs(0, init);
+    r.nodes = nodes_;
+    if (found) {
+      r.verdict = LinVerdict::kOk;
+    } else if (over_budget_) {
+      r.verdict = LinVerdict::kBudget;
+      r.detail = "node budget exhausted";
+    } else {
+      r.verdict = LinVerdict::kViolation;
+      r.detail = describe_history();
+    }
+    return r;
+  }
+
+ private:
+  static std::uint64_t bit(std::size_t i) { return std::uint64_t{1} << i; }
+
+  bool dfs(std::uint64_t mask, const typename Model::State& state) {
+    if (++nodes_ > budget_) {
+      over_budget_ = true;
+      return false;
+    }
+    if ((mask & completed_) == completed_) {
+      // Every completed op linearized. Without a recovered state this IS
+      // success; with one, success requires the states to coincide (we may
+      // still linearize more pending ops below to get there).
+      if (recovered_ == nullptr || state == *recovered_) return true;
+    }
+    std::ostringstream key;
+    key << mask << "|" << Model::encode(state);
+    if (!visited_.insert(key.str()).second) return false;
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask & bit(i)) != 0) continue;
+      if (!minimal(mask, i)) continue;
+      if (ops_[i].res != kNoResponse) {
+        typename Model::State next = state;
+        if (Model::apply(next, ops_[i]) && dfs(mask | bit(i), next)) {
+          return true;
+        }
+      } else {
+        for (const auto& next : Model::apply_pending(state, ops_[i])) {
+          if (dfs(mask | bit(i), next)) return true;
+        }
+      }
+      if (over_budget_) return false;
+    }
+    return false;
+  }
+
+  /// op i may be linearized next iff no unlinearized op finished before it
+  /// was invoked (real-time order; pending ops never block anyone).
+  bool minimal(std::uint64_t mask, std::size_t i) const {
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || (mask & bit(j)) != 0) continue;
+      if (ops_[j].res != kNoResponse && ops_[j].res < ops_[i].inv) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string describe_history() const {
+    std::ostringstream out;
+    for (const Op& op : ops_) out << op.describe() << " ";
+    if (recovered_ != nullptr) {
+      out << "| recovered: " << Model::encode(*recovered_);
+    }
+    return out.str();
+  }
+
+  const std::vector<Op>& ops_;
+  const typename Model::State* recovered_;
+  std::size_t budget_;
+  std::uint64_t completed_ = 0;
+  std::size_t nodes_ = 0;
+  bool over_budget_ = false;
+  std::unordered_set<std::string> visited_;
+};
+
+}  // namespace detail
+
+template <typename Model>
+LinResult check_linearizable(const std::vector<Op>& ops,
+                             std::size_t node_budget = 2'000'000) {
+  detail::LinSearch<Model> search(ops, nullptr, node_budget);
+  return search.run();
+}
+
+template <typename Model>
+LinResult check_durable(const std::vector<Op>& ops,
+                        const typename Model::State& recovered,
+                        std::size_t node_budget = 2'000'000) {
+  detail::LinSearch<Model> search(ops, &recovered, node_budget);
+  return search.run();
+}
+
+}  // namespace nvc::testing

@@ -74,7 +74,15 @@ struct CrashRig::Context {
   std::unique_ptr<runtime::UndoLog> log;
   int fase_depth = 0;
   std::shared_ptr<core::FlushChannel> flush_channel;
+  /// Elision + async: AsyncFlushSink's ring-full/overflow fallback executes
+  /// the write-back locally, bypassing the worker-side RetiringSink — so
+  /// the fallback itself must retire (every owner path retires exactly
+  /// once, whichever side performs the write).
+  std::unique_ptr<core::RetiringSink> retiring_fallback;
   std::unique_ptr<core::AsyncFlushSink> async_sink;
+  /// Elision dimension: sits between `ordered` and the async/sync path
+  /// (declared before `ordered` so destruction order mirrors the stack).
+  std::unique_ptr<core::ElidingSink> eliding;
   std::unique_ptr<core::LogOrderedSink> ordered;
 
   // --- fault dimension (members live only when the injector is attached;
@@ -116,6 +124,15 @@ CrashRig::CrashRig(const CrashRigConfig& config)
     // header never persists is a legal fault outcome recovery must handle).
     injector_ = std::make_unique<pmem::FaultInjector>(config_.fault);
     shadow_.set_fault_injector(injector_.get());
+  }
+  if (config_.elide) {
+    // One table for all contexts: cross-context dedup is the dimension
+    // under test (a line evicted by context A while context B's write-back
+    // of it is still queued gets elided).
+    elision_ = std::make_shared<core::FlushElisionTable>();
+    if (config_.elide_bug_revert_retire) {
+      elision_->set_bug_revert_retire(true);
+    }
   }
   const core::RetryPolicy retry{config_.fault.max_retries,
                                 config_.fault.backoff_ns,
@@ -164,20 +181,45 @@ CrashRig::CrashRig(const CrashRigConfig& config)
         worker_sink = std::make_unique<core::FaultTolerantSink>(
             std::move(worker_sink), &c->faults, retry);
       }
+      if (elision_) {
+        // Outermost worker-side: the line retires before the write-back
+        // starts (decrement-before-write), and before any retries — a
+        // retried write is still the same scheduled write-back.
+        worker_sink = std::make_unique<core::RetiringSink>(
+            std::move(worker_sink), elision_);
+      }
       c->flush_channel =
           config_.manual_pipeline
               ? core::FlushWorker::shared().open_manual_channel(
                     std::move(worker_sink), config_.flush_ring)
               : core::FlushWorker::shared().open_channel(
                     std::move(worker_sink), config_.flush_ring);
+      core::FlushSink* fallback = sync_data;
+      if (elision_) {
+        c->retiring_fallback =
+            std::make_unique<core::RetiringSink>(sync_data, elision_);
+        fallback = c->retiring_fallback.get();
+      }
       c->async_sink =
-          std::make_unique<core::AsyncFlushSink>(c->flush_channel, sync_data);
+          std::make_unique<core::AsyncFlushSink>(c->flush_channel, fallback);
     }
-    c->ordered = std::make_unique<core::LogOrderedSink>(
+    core::FlushSink* data_path =
         c->async_sink ? static_cast<core::FlushSink*>(c->async_sink.get())
-                      : sync_data,
-        c->log.get());
+                      : sync_data;
+    if (elision_) {
+      // Below the LogOrderedSink (the log sync runs whether or not the
+      // media write is elided), above the ring/sync backend. In sync mode
+      // the owner retires inline (immediate); in async mode the worker's
+      // RetiringSink handles it.
+      c->eliding = std::make_unique<core::ElidingSink>(
+          data_path, elision_, /*immediate=*/!config_.async_flush);
+      data_path = c->eliding.get();
+    }
+    c->ordered = std::make_unique<core::LogOrderedSink>(data_path,
+                                                        c->log.get());
     if (injector_) {
+      // Degraded route bypasses elision (mirrors Runtime): once the media
+      // misbehaves, every write-back executes, none is deduped away.
       c->ordered_sync =
           std::make_unique<core::LogOrderedSink>(sync_data, c->log.get());
     }
@@ -266,14 +308,18 @@ void CrashRig::pstore(std::size_t ctx, PmAddr addr, const void* bytes,
   }
   const LineAddr first = line_of(base);
   const LineAddr last = line_of(base + len - 1);
-  if (async_route) {
+  if (async_route || elision_ != nullptr) {
     // Write-after-enqueue hazard (DESIGN.md §8, mirrors Runtime::pstore):
     // a touched line may still be queued, so its eventual write-back can
     // carry this store's bytes — the records covering them must be durable
-    // before the data write below.
+    // before the data write below. With elision the hazard also crosses
+    // contexts: a pending() line means some context's announced write-back
+    // has not started and may carry these bytes (DESIGN.md §13).
     for (LineAddr line = first; line <= last; ++line) {
-      if (c.async_sink->maybe_inflight(line)) {
-        if (!c.log->sync()) {
+      const bool inflight = async_route && c.async_sink->maybe_inflight(line);
+      const bool cross = elision_ != nullptr && elision_->pending(line);
+      if (inflight || cross) {
+        if (!c.log->sync() && async_route) {
           // Records will not persist (log media failing): the queued
           // write-back must not carry the new bytes either. Draining the
           // ring retires it with the pre-store image before the memcpy.
@@ -421,6 +467,22 @@ std::uint64_t CrashRig::bypassed_stores() const noexcept {
   std::uint64_t total = 0;
   for (const auto& c : contexts_) {
     total += c->policy->counters().bypassed;
+  }
+  return total;
+}
+
+std::uint64_t CrashRig::elided_flushes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : contexts_) {
+    if (c->eliding) total += c->eliding->elided_count();
+  }
+  return total;
+}
+
+std::uint64_t CrashRig::elision_reflushes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : contexts_) {
+    if (c->eliding) total += c->eliding->reflushed_count();
   }
   return total;
 }

@@ -39,6 +39,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/elision_sink.hpp"
 #include "core/fault_sink.hpp"
 #include "core/flush_pipeline.hpp"
 #include "core/log_ordered_sink.hpp"
@@ -85,6 +86,18 @@ struct CrashRigConfig {
   /// oracle must hold unchanged under every mode. kReuse attaches only in
   /// online_policy configurations (make_policy's rule).
   core::AdmitMode admission = core::AdmitMode::kAlways;
+
+  /// Flush-elision dimension (DESIGN.md §13): one FlushElisionTable shared
+  /// by all contexts, an ElidingSink below each LogOrderedSink, and (async
+  /// mode) a RetiringSink worker-side below the ring. The durability oracle
+  /// must hold unchanged: elision may only drop write-backs whose bytes an
+  /// already-scheduled write-back carries, and the commit-point drain
+  /// re-flushes elided lines still pending.
+  bool elide = false;
+  /// Checker-validation hook: arm FlushElisionTable::set_bug_revert_retire
+  /// on the rig's table, the "reverted flush-pending decrement". The fuzz
+  /// harness must catch it (quiescence invariant / durability oracle).
+  bool elide_bug_revert_retire = false;
 };
 
 class CrashRig {
@@ -153,6 +166,12 @@ class CrashRig {
   std::uint64_t log_fences() const noexcept;
   /// Stores written through by the admission filter (summed over contexts).
   std::uint64_t bypassed_stores() const noexcept;
+  /// Elision dimension: write-backs skipped / drain re-flushes (summed).
+  std::uint64_t elided_flushes() const noexcept;
+  std::uint64_t elision_reflushes() const noexcept;
+  const core::FlushElisionTable* elision_table() const noexcept {
+    return elision_.get();
+  }
 
   std::size_t contexts() const noexcept { return contexts_.size(); }
   std::size_t data_bytes() const noexcept {
@@ -208,6 +227,9 @@ class CrashRig {
   CrashRigConfig config_;
   pmem::ShadowPmem shadow_;
   std::unique_ptr<pmem::FaultInjector> injector_;  // null when faults off
+  /// Elision dimension (null when config_.elide is off). Shared with the
+  /// worker-side RetiringSink inside each context's FlushChannel.
+  std::shared_ptr<core::FlushElisionTable> elision_;
   LineAddr log_shift_;  // pointer-line -> shadow-offset-line translation
   bool counting_ = false;
   bool recovered_ = false;

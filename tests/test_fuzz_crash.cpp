@@ -565,6 +565,152 @@ INSTANTIATE_TEST_SUITE_P(AllModes, AdmitFuzzCrash,
                          });
 
 // --------------------------------------------------------------------------
+// The elision dimension: the same sweep with FliT-style write-back dedup.
+// --------------------------------------------------------------------------
+
+class ElideFuzzCrash : public ::testing::TestWithParam<FuzzMode> {};
+
+TEST_P(ElideFuzzCrash, ElidedWriteBacksKeepTheDurabilityContract) {
+  // Flush elision (DESIGN.md §13) may drop a write-back only when an
+  // already-announced, not-yet-started write-back of the same line will
+  // carry its bytes — so WHAT a crash can leave behind must not change:
+  // same oracle, same monotone durability, every mode combo. Two extra
+  // invariants ride along: a fully drained run leaves the elision table
+  // quiesced (every announce retired — the seeded revert-retire bug is
+  // exactly a violation of this), and the elision counters balance
+  // (owners + elisions + untracked announces account for every probe).
+  const FuzzMode mode = GetParam();
+  const std::string only = env_str("NVC_FUZZ_MODE", "");
+  if (!only.empty() && only != mode_name(mode)) {
+    GTEST_SKIP() << "NVC_FUZZ_MODE=" << only << " filters out this combo";
+  }
+
+  const std::string elide_env = "NVC_ELIDE=1";
+  const SeedPlan plan = seed_plan(/*default_iters=*/4);
+  std::uint64_t elided_total = 0;
+  for (std::uint64_t iter = 0; iter < plan.iters; ++iter) {
+    const std::uint64_t seed = plan.seed(iter);
+    const FuzzProgram program = generate_program(seed);
+    const DurabilityOracle oracle(program);
+
+    CrashRigConfig rig_config = fuzz_rig_config(program, mode);
+    rig_config.elide = true;
+
+    // Probe run, never frozen: the uninterrupted run must recover the
+    // final commit, and — after recovered_data() drained every channel —
+    // the table must hold no pending entry.
+    CrashRig probe(rig_config);
+    run_program(probe, program);
+    const std::uint64_t total = probe.events();
+    elided_total += probe.elided_flushes();
+    for (std::size_t c = 0; c < program.contexts; ++c) {
+      ASSERT_EQ(probe.recovered_data(c), oracle.final_committed(c))
+          << "ctx " << c << ": uninterrupted run with elision lost "
+          << "committed data\n  "
+          << fuzz_replay_line(seed, mode_name(mode), total, elide_env);
+    }
+    ASSERT_EQ(probe.elision_table()->pending_count(), 0u)
+        << "elision table not quiescent after a fully drained run — some "
+        << "announced write-back never retired\n  "
+        << fuzz_replay_line(seed, mode_name(mode), total, elide_env);
+    const core::FlushElisionTable::Stats st = probe.elision_table()->stats();
+    ASSERT_GE(st.announces, st.owners + st.elisions)
+        << "elision counters do not balance\n  "
+        << fuzz_replay_line(seed, mode_name(mode), total, elide_env);
+
+    std::vector<int> last_index(program.contexts, -1);
+    for (const std::uint64_t e : freeze_points(total, seed)) {
+      CrashRig rig(rig_config);
+      rig.freeze_at(e);
+      run_program(rig, program);
+      for (std::size_t c = 0; c < program.contexts; ++c) {
+        const int index = oracle.match(c, rig.recovered_data(c));
+        ASSERT_GE(index, 0)
+            << "ctx " << c << ": crash at event " << e << "/" << total
+            << " with flush elision recovered a state matching no "
+            << "committed FASE\n  "
+            << fuzz_replay_line(seed, mode_name(mode), e, elide_env);
+        ASSERT_GE(index, last_index[c])
+            << "ctx " << c << ": durability regressed under elision — "
+            << "freeze " << e << " recovered commit " << index
+            << " after an earlier freeze had already reached "
+            << last_index[c] << "\n  "
+            << fuzz_replay_line(seed, mode_name(mode), e, elide_env);
+        last_index[c] = index;
+      }
+    }
+  }
+
+  // Campaign coverage (deterministic seeds): in flush-behind modes the
+  // manual ring holds write-backs across ops, so re-evictions of a queued
+  // line must actually elide somewhere — otherwise the dimension tests
+  // nothing. Skipped on pinned replays.
+  const bool pinned = env_int("NVC_FUZZ_SEED", -1) >= 0 ||
+                      env_int("NVC_FUZZ_FREEZE", -1) >= 0 ||
+                      env_int("NVC_FUZZ_ITERS", -1) >= 0;
+  if (pinned) return;
+  if (mode.async_flush) {
+    EXPECT_GT(elided_total, 0u)
+        << "elision campaign never elided a write-back; the flush-behind "
+        << "ring no longer holds lines long enough to dedup";
+  } else {
+    // Sync mode retires inline: an announce can never find a pending
+    // owner, so elision must be exactly zero (the dimension degenerates
+    // to counter bookkeeping, and durability must be untouched).
+    EXPECT_EQ(elided_total, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ElideFuzzCrash,
+                         ::testing::ValuesIn(kAllModes),
+                         [](const auto& param_info) {
+                           std::string name = mode_name(param_info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(ElideFuzzBug, SeededRevertRetireBugIsCaught) {
+  // Checker validation (the acceptance bar for the elision dimension): arm
+  // the "reverted flush-pending decrement" — retire() reports success but
+  // leaves the pending count — and require the harness's quiescence
+  // invariant to flag it, with the one-line replay attached. The bug makes
+  // every later announce of a retired line elide although no write-back
+  // remains scheduled; only the commit-point drain re-check stands between
+  // that and silent data loss, which is exactly why the invariant must
+  // stay armed in the sweep above.
+  const FuzzMode mode{runtime::LogSyncMode::kStrict, true, false};
+  const std::uint64_t seed = derive_seed(kDefaultBaseSeed, 0);
+  const FuzzProgram program = generate_program(seed);
+
+  CrashRigConfig rig_config = fuzz_rig_config(program, mode);
+  rig_config.elide = true;
+  rig_config.elide_bug_revert_retire = true;
+
+  CrashRig rig(rig_config);
+  run_program(rig, program);
+  const std::uint64_t total = rig.events();
+  // Quiesce exactly as the sweep does before its invariant check.
+  for (std::size_t c = 0; c < program.contexts; ++c) {
+    (void)rig.recovered_data(c);
+  }
+  EXPECT_GT(rig.elision_table()->pending_count(), 0u)
+      << "the quiescence checker no longer detects a reverted retire; "
+      << "a real elide-forever bug would ship undetected ("
+      << fuzz_replay_line(seed, mode_name(mode), total, "NVC_ELIDE=1")
+      << ")";
+  // Defense in depth held: the drain re-check flushed the stranded lines,
+  // so even under the bug the uninterrupted run lost nothing.
+  const DurabilityOracle oracle(program);
+  for (std::size_t c = 0; c < program.contexts; ++c) {
+    EXPECT_EQ(rig.recovered_data(c), oracle.final_committed(c))
+        << "ctx " << c
+        << ": drain re-check failed to cover the buggy retire";
+  }
+  EXPECT_GT(rig.elision_reflushes(), 0u)
+      << "the buggy run never exercised the drain re-check path";
+}
+
+// --------------------------------------------------------------------------
 // Differential oracle: the analyze/MRC/knee pipeline vs. brute force.
 // --------------------------------------------------------------------------
 
