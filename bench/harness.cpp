@@ -140,6 +140,16 @@ LiveResult run_live(const std::string& workload, core::PolicyKind kind,
   config.elide_table_slots = static_cast<std::size_t>(
       env_int("NVC_ELIDE_TABLE",
               static_cast<std::int64_t>(config.elide_table_slots)));
+  // NVC_VERIFY_DATA=1 publishes a CRC32C per committed data line; the
+  // recovery pipeline's verify stage and the scrubber check against it.
+  // NVC_SCRUB=1 registers the online scrubber on the flush workers' idle
+  // hook; NVC_SCRUB_BATCH / NVC_SCRUB_REPAIR tune it (DESIGN.md §14).
+  config.verify_data = env_int("NVC_VERIFY_DATA", 0) != 0;
+  config.scrub = env_int("NVC_SCRUB", 0) != 0;
+  config.scrub_batch_lines = static_cast<std::size_t>(
+      env_int("NVC_SCRUB_BATCH",
+              static_cast<std::int64_t>(config.scrub_batch_lines)));
+  config.scrub_repair = env_int("NVC_SCRUB_REPAIR", 1) != 0;
 
   runtime::Runtime rt(config);
   workloads::RuntimeApi api(rt);

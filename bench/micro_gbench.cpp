@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,7 +24,10 @@
 #include "core/write_cache.hpp"
 #include "core/admission.hpp"
 #include "pmem/flush.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/scrub.hpp"
+#include "runtime/undo_log.hpp"
 #include "structures/durable_queue.hpp"
 #include "structures/pspace.hpp"
 #include "testing/interleave.hpp"
@@ -340,6 +344,118 @@ void BM_PstoreFaseFaultIdle(benchmark::State& state) {
   run_pstore_fase(state, true);
 }
 BENCHMARK(BM_PstoreFaseFaultIdle)->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}});
+
+// --- hardened recovery (DESIGN.md §14) --------------------------------------
+
+void BM_PstoreFaseScrubIdle(benchmark::State& state) {
+  // Foreground cost of the hardening knobs on the BM_PstoreFase shape
+  // (log=strict, SC-offline, sync flush = BM_PstoreFase/1/1/0). Arg0:
+  //   0  NVC_VERIFY_DATA only — prices the commit-time CRC publish plus the
+  //      per-store dirty marking;
+  //   1  NVC_SCRUB only — the scrubber runs on the flush workers' idle hook
+  //      while this thread commits FASEs; the delta is the interference of
+  //      background image re-reads with the foreground store path;
+  //   2  both.
+  // The acceptance bar (EXPERIMENTS.md): arg 1 stays within 1% of
+  // BM_PstoreFase/1/1/0 — scrubbing must be free when the pool is busy.
+  const int knobs = static_cast<int>(state.range(0));
+  runtime::RuntimeConfig config;
+  config.region_name = unique_region();
+  config.region_size = 4u << 20;
+  config.policy = core::PolicyKind::kSoftCacheOffline;
+  config.policy_config.cache_size = 23;
+  apply_flush_env(config);
+  config.undo_logging = true;
+  config.log_sync = runtime::LogSyncMode::kStrict;
+  config.verify_data = knobs != 1;
+  config.scrub = knobs != 0;
+  runtime::Runtime rt(config);
+  constexpr int kStoresPerFase = 16;
+  auto* arr = static_cast<std::uint64_t*>(
+      rt.pm_alloc(kStoresPerFase * kCacheLineSize));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    rt.fase_begin();
+    for (int s = 0; s < kStoresPerFase; ++s) {
+      rt.pstore(arr[s * 8], v++);
+    }
+    rt.fase_end();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kStoresPerFase);
+  const runtime::ScrubStats scrub = rt.scrub_stats();
+  state.counters["scrub_slices"] =
+      benchmark::Counter(static_cast<double>(scrub.slices));
+  state.counters["scrub_lines"] =
+      benchmark::Counter(static_cast<double>(scrub.lines_scanned));
+  state.SetLabel(knobs == 0   ? "verify"
+                 : knobs == 1 ? "scrub"
+                              : "verify+scrub");
+  rt.destroy_storage();
+}
+BENCHMARK(BM_PstoreFaseScrubIdle)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  // Salvage-pipeline throughput: one log segment holding Arg0 certified
+  // uncommitted records over a 256-line data region, replayed (walk +
+  // certify + newest-first rollback + commit) from a pristine copy each
+  // iteration. items/sec = records replayed per second; the memcpy of the
+  // working image is included (it is what a real restart pays to page the
+  // image in).
+  const std::size_t records = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kLines = 256;
+  constexpr std::size_t kPayload = 48;
+  const std::size_t entry_size =
+      sizeof(runtime::UndoLog::EntryHead) + ((kPayload + 7) & ~std::size_t{7});
+  const std::size_t seg_size =
+      runtime::UndoLog::kHeaderSize + records * entry_size + 64;
+
+  std::vector<std::uint8_t> data0(kLines * kCacheLineSize);
+  Rng rng(11);
+  for (auto& b : data0) b = static_cast<std::uint8_t>(rng());
+  std::vector<std::uint8_t> log0(seg_size, 0);
+  runtime::UndoLog::LogHeader header{};
+  header.magic = runtime::UndoLog::kMagic;
+  std::uint64_t off = runtime::UndoLog::kHeaderSize;
+  for (std::size_t r = 0; r < records; ++r) {
+    const std::uint64_t token =
+        (rng.below(kLines * kCacheLineSize - kPayload)) & ~std::uint64_t{7};
+    std::uint8_t payload[kPayload];
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    runtime::UndoLog::EntryHead entry{};
+    entry.addr_token = token;
+    entry.len = kPayload;
+    entry.check = runtime::UndoLog::entry_check(token, kPayload, 1, payload);
+    std::memcpy(log0.data() + off, &entry, sizeof(entry));
+    std::memcpy(log0.data() + off + sizeof(entry), payload, kPayload);
+    off += entry_size;
+  }
+  header.state = runtime::UndoLog::pack_state(1, off);
+  std::memcpy(log0.data(), &header, sizeof(header));
+
+  std::vector<std::uint8_t> data = data0;
+  std::vector<std::uint8_t> log = log0;
+  std::size_t undone = 0;
+  for (auto _ : state) {
+    std::memcpy(data.data(), data0.data(), data0.size());
+    std::memcpy(log.data(), log0.data(), log0.size());
+    runtime::RegionView view;
+    view.data = data.data();
+    view.data_size = data.size();
+    view.logs = log.data();
+    view.log_segment_size = log.size();
+    view.log_segments = 1;
+    view.heap_header = false;
+    runtime::RecoveryManager manager(view);
+    runtime::RecoveryReport report = manager.run();
+    undone = report.records_undone;
+    benchmark::DoNotOptimize(report);
+  }
+  if (undone != records) state.SkipWithError("replay did not certify");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(16)->Arg(256)->Arg(2048);
 
 // --- write-admission ablation (DESIGN.md §12) -------------------------------
 

@@ -4,6 +4,9 @@
 #   scripts/check.sh            tier-1 build + full ctest sweep
 #                               + asan build of the policy tier (admission/
 #                                 wear suites, `ctest -L policy`)
+#                               + asan pass of the recovery tier (the
+#                                 image-corruption fuzzer + salvage units,
+#                                 `ctest -L recovery`)
 #                               + the bench regression gate when a fresh
 #                                 BENCH_micro.json exists at the repo root
 #
@@ -43,6 +46,14 @@ if [ "$run_asan" = 1 ]; then
   cmake --preset asan >/dev/null
   cmake --build build-asan -j "$(nproc)" --target test_admission test_fuzz_crash
   ctest --test-dir build-asan -L policy -j "$jobs" --output-on-failure
+
+  # The hardened-recovery tier (DESIGN.md §14) walks deliberately hostile
+  # bytes — exactly where an out-of-bounds read would hide — so the
+  # image-corruption fuzzer and the salvage units get a dedicated asan pass.
+  echo "== asan: recovery tier (salvage units + image-corruption fuzzer) =="
+  cmake --build build-asan -j "$(nproc)" \
+      --target test_recovery_units test_recovery_fuzz
+  ctest --test-dir build-asan -L recovery -j "$jobs" --output-on-failure
 fi
 
 if [ "$run_bench" = 1 ]; then

@@ -243,6 +243,35 @@ void FlushWorker::poke_home(std::size_t w) {
   workers_[w]->cv.notify_one();
 }
 
+void FlushWorker::register_idle_task(std::weak_ptr<IdleTask> task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_tasks_.push_back(std::move(task));
+}
+
+bool FlushWorker::run_idle_task() {
+  std::shared_ptr<IdleTask> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (!idle_tasks_.empty() && task == nullptr) {
+      idle_cursor_ %= idle_tasks_.size();
+      task = idle_tasks_[idle_cursor_].lock();
+      if (task != nullptr) {
+        ++idle_cursor_;
+      } else {
+        // Owner died; expiry IS the deregistration protocol.
+        idle_tasks_.erase(idle_tasks_.begin() +
+                          static_cast<std::ptrdiff_t>(idle_cursor_));
+      }
+    }
+  }
+  if (task == nullptr) return false;
+  // Off-mutex: the step may do real work (scrubbing a batch of lines) and
+  // must not block channel registration or sibling workers.
+  const bool worked = task->idle_step();
+  if (worked) idle_steps_.fetch_add(1, std::memory_order_relaxed);
+  return worked;
+}
+
 bool FlushWorker::steal_one(const FlushChannel* self) {
   std::vector<std::shared_ptr<FlushChannel>> channels;
   {
@@ -307,6 +336,7 @@ void FlushWorker::run(std::stop_token st, std::size_t w) {
     std::vector<std::shared_ptr<FlushChannel>> channels = channels_;
     lock.unlock();
 
+    bool idle = false;
     if (can_spin) {
       auto last_work = std::chrono::steady_clock::now();
       while (!st.stop_requested()) {
@@ -314,14 +344,20 @@ void FlushWorker::run(std::stop_token st, std::size_t w) {
           last_work = std::chrono::steady_clock::now();
         } else if (std::chrono::steady_clock::now() - last_work >
                    kSpinWindow) {
+          idle = true;
           break;
         } else {
           cpu_pause();
         }
       }
     } else {
-      sweep(w, channels);
+      idle = sweep(w, channels) == 0;
     }
+    // Idle worker: one bounded slice of background work (the online
+    // scrubber). Flush traffic always wins — the slice runs only after a
+    // sweep (plus spin window) found every home ring empty, and the next
+    // doze tick re-checks the rings before another slice runs.
+    if (idle && !st.stop_requested()) run_idle_task();
 
     lock.lock();
     // Prune channels whose producer is gone and whose queue has drained.

@@ -190,6 +190,18 @@ class FlushChannel {
   std::uint32_t home_ = 0;
 };
 
+/// Background work a pool worker runs when its sweep found nothing to flush
+/// (the online scrubber piggybacks here, DESIGN.md §14). One bounded slice
+/// per call; return true when the step did useful work (the worker may call
+/// again within its spin window), false when there is nothing to do.
+/// Registered as weak_ptr so a task simply expiring (its owner died) is the
+/// deregistration protocol — no unregister call, no dangling task.
+class IdleTask {
+ public:
+  virtual ~IdleTask() = default;
+  virtual bool idle_step() = 0;
+};
+
 /// The shared background flusher, generalized to a sized pool: N jthreads
 /// (NVC_FLUSH_WORKERS, default 1 = the original single-worker behavior),
 /// each the *home* of a subset of channels assigned round-robin at open
@@ -242,6 +254,16 @@ class FlushWorker {
   /// from producers go to the channel's home worker only.
   void poke();
 
+  /// Register background work for idle workers (see IdleTask). Tasks run on
+  /// pool threads only — manual channels and their deterministic schedules
+  /// never see them. Expired tasks are pruned lazily.
+  void register_idle_task(std::weak_ptr<IdleTask> task);
+
+  /// Idle-task invocations that reported useful work (diagnostic).
+  std::uint64_t idle_steps() const noexcept {
+    return idle_steps_.load(std::memory_order_relaxed);
+  }
+
   /// Number of pool threads (>= 1).
   std::size_t pool_size() const noexcept { return workers_.size(); }
 
@@ -272,6 +294,10 @@ class FlushWorker {
 
   void start();
   void poke_home(std::size_t w);
+  /// Run one registered idle task's step (round-robin), pruning expired
+  /// registrations. Called off-mutex by a worker whose sweep came up empty;
+  /// returns what the task's idle_step returned (false = nothing ran).
+  bool run_idle_task();
   /// Steal one line from any registered channel other than `self` (used by
   /// a producer blocked in wait_drained). Returns true when a line was
   /// retired somewhere.
@@ -287,6 +313,9 @@ class FlushWorker {
   std::vector<int> worker_cpu_;  // placement map, fixed at construction
   std::atomic<std::uint64_t> worker_flushes_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::vector<std::weak_ptr<IdleTask>> idle_tasks_;  // guarded by mutex_
+  std::size_t idle_cursor_ = 0;                      // guarded by mutex_
+  std::atomic<std::uint64_t> idle_steps_{0};
   /// Last member: jthreads stop and join before the rest is destroyed.
   std::vector<std::unique_ptr<Worker>> workers_;
 };

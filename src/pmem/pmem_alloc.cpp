@@ -2,8 +2,10 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "common/assert.hpp"
+#include "common/checksum.hpp"
 #include "common/types.hpp"
 
 namespace nvc::pmem {
@@ -21,6 +23,7 @@ struct PmemAllocator::Header {
   POffset bump;                    // next unreserved byte
   std::uint64_t bytes_in_use;      // live allocation payload bytes
   POffset free_list[kNumClasses];  // heads of size-class free lists
+  std::uint64_t seal;              // clean-shutdown seal (see header comment)
 };
 
 struct PmemAllocator::BlockHeader {
@@ -34,10 +37,14 @@ struct PmemAllocator::BlockHeader {
 PmemAllocator::PmemAllocator(PmemRegion region, bool format)
     : region_(std::move(region)) {
   static_assert(sizeof(BlockHeader) == 32);
+  // The seal word occupies what was zero padding before the bump frontier
+  // (136 -> align_up(136, 16) = 144), so pre-seal images reopen unchanged:
+  // their seal reads 0 = unsealed, and every other field keeps its offset.
+  static_assert(sizeof(Header) == 144);
   NVC_REQUIRE(region_.valid());
-  NVC_REQUIRE(region_.size() > sizeof(Header) + kCacheLineSize);
-  Header* h = header();
   if (format) {
+    NVC_REQUIRE(region_.size() > sizeof(Header) + kCacheLineSize);
+    Header* h = header();
     std::memset(h, 0, sizeof(Header));
     h->magic = kMagic;
     h->version = kVersion;
@@ -45,9 +52,24 @@ PmemAllocator::PmemAllocator(PmemRegion region, bool format)
     h->bump = align_up(sizeof(Header), kMinBlock);
     h->bytes_in_use = 0;
   } else {
-    if (h->magic != kMagic || h->version != kVersion) {
+    // The open path treats the file as untrusted input: a truncated or
+    // foreign image is a diagnosable error, never an abort.
+    if (region_.size() <= sizeof(Header) + kCacheLineSize) {
+      throw std::runtime_error(
+          "PmemAllocator: region too small to hold a heap (" +
+          std::to_string(region_.size()) + " bytes)");
+    }
+    const HeaderStatus st = inspect(region_.base(), region_.size());
+    if (!st.magic_ok) {
       throw std::runtime_error("PmemAllocator: region is not a nvcache heap");
     }
+    if (!st.version_ok) {
+      throw std::runtime_error(
+          "PmemAllocator: heap layout version mismatch (found " +
+          std::to_string(st.version) + ", want " + std::to_string(kVersion) +
+          ")");
+    }
+    if (st.seal_valid) seal_gen_ = st.seal_gen;
   }
 }
 
@@ -148,5 +170,63 @@ std::size_t PmemAllocator::bytes_in_use() const {
 }
 
 std::size_t PmemAllocator::bytes_reserved() const { return header()->bump; }
+
+std::uint64_t PmemAllocator::compute_seal(const void* header_bytes,
+                                          std::uint32_t gen) {
+  // CRC over the header image with the seal field zeroed (the seal cannot
+  // cover itself); the generation in the high word keeps the whole seal
+  // nonzero and distinguishes successive clean shutdowns for the scrubber's
+  // stale-image detection.
+  Header copy;
+  std::memcpy(&copy, header_bytes, sizeof(copy));
+  copy.seal = 0;
+  const std::uint32_t crc = crc32c(&copy, sizeof(copy));
+  return (static_cast<std::uint64_t>(gen) << 32) | crc;
+}
+
+std::uint64_t PmemAllocator::seal() {
+  Header* h = header();
+  ++seal_gen_;
+  if (seal_gen_ == 0) seal_gen_ = 1;  // wrap: 0 is reserved for "never"
+  h->seal = compute_seal(h, seal_gen_);
+  return h->seal;
+}
+
+void PmemAllocator::unseal() {
+  header()->seal = 0;
+}
+
+bool PmemAllocator::sealed_clean() const {
+  const Header* h = header();
+  if (h->seal == 0) return false;
+  return h->seal == compute_seal(h, static_cast<std::uint32_t>(h->seal >> 32));
+}
+
+PmemAllocator::HeaderStatus PmemAllocator::inspect(const void* base,
+                                                   std::size_t size) {
+  HeaderStatus st;
+  if (base == nullptr || size < sizeof(Header)) return st;
+  Header h;
+  std::memcpy(&h, base, sizeof(h));
+  st.magic_ok = h.magic == kMagic;
+  st.version = h.version;
+  st.version_ok = h.version == kVersion;
+  st.root = h.root;
+  st.bump = h.bump;
+  st.bump_plausible = h.bump >= align_up(sizeof(Header), kMinBlock) &&
+                      h.bump <= size;
+  st.sealed = h.seal != 0;
+  if (st.sealed) {
+    st.seal_gen = static_cast<std::uint32_t>(h.seal >> 32);
+    st.seal_valid = h.seal == compute_seal(&h, st.seal_gen);
+  }
+  return st;
+}
+
+std::size_t PmemAllocator::seal_offset() noexcept {
+  return offsetof(Header, seal);
+}
+
+std::size_t PmemAllocator::header_size() noexcept { return sizeof(Header); }
 
 }  // namespace nvc::pmem

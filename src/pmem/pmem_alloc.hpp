@@ -64,10 +64,50 @@ class PmemAllocator {
   /// Total bytes consumed from the bump frontier.
   std::size_t bytes_reserved() const;
 
+  // Clean-shutdown seal (DESIGN.md §14). The header ends in one 8-byte seal
+  // word: 0 = unsealed (heap in use, or a crash interrupted a session);
+  // nonzero = (seal_generation << 32) | CRC32C of the header bytes with the
+  // seal field zeroed. Writing it is a single aligned 8-byte store, atomic
+  // with respect to power failure: a cut mid-seal leaves either the old
+  // word (image reads as dirty — safe) or the new one (header was already
+  // quiescent — also safe); no torn state can fake a clean image whose
+  // header bytes don't match the checksum. Callers flush the header line
+  // through their own sink; the allocator only mutates the mapping.
+
+  /// Write the seal word (bumping the seal generation). Call only when the
+  /// heap is quiescent; returns the word written.
+  std::uint64_t seal();
+  /// Clear the seal word (first mutation of a session does this before any
+  /// other header byte changes).
+  void unseal();
+  /// True when the seal word is present and its checksum matches the
+  /// current header bytes.
+  bool sealed_clean() const;
+  /// Generation of the last valid seal seen at open (0 = never sealed).
+  std::uint32_t seal_generation() const noexcept { return seal_gen_; }
+
+  /// Untrusted read of a raw region's heap header: never throws, aborts, or
+  /// reads outside [base, base+size). The salvage pipeline's first stage.
+  struct HeaderStatus {
+    bool magic_ok = false;
+    bool version_ok = false;
+    bool sealed = false;          // nonzero seal word present
+    bool seal_valid = false;      // ...and its CRC matches the header bytes
+    bool bump_plausible = false;  // frontier lands inside the region
+    std::uint32_t version = 0;
+    std::uint32_t seal_gen = 0;
+    std::uint64_t root = 0;
+    std::uint64_t bump = 0;
+  };
+  static HeaderStatus inspect(const void* base, std::size_t size);
+
   static constexpr std::uint64_t kMagic = 0x4e56434148454150ULL;  // "NVCAHEAP"
   static constexpr std::uint32_t kVersion = 1;
   static constexpr std::size_t kNumClasses = 12;  // 16B .. 32KiB
   static constexpr std::size_t kMinBlock = 16;
+  /// Region offset of the 8-byte seal word (the corruptor targets it).
+  static std::size_t seal_offset() noexcept;
+  static std::size_t header_size() noexcept;
 
  private:
   struct Header;       // region-resident superblock
@@ -77,8 +117,11 @@ class PmemAllocator {
   BlockHeader* block_at(POffset offset) const;
   static std::size_t class_for(std::size_t size);
   static std::size_t class_block_size(std::size_t cls);
+  static std::uint64_t compute_seal(const void* header_bytes,
+                                    std::uint32_t gen);
 
   PmemRegion region_;
+  std::uint32_t seal_gen_ = 0;
 };
 
 }  // namespace nvc::pmem

@@ -57,9 +57,17 @@ PmemRegion PmemRegion::open(const std::string& name) {
   const int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) throw_errno("PmemRegion::open " + path);
   struct stat st {};
-  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+  if (::fstat(fd, &st) != 0) {
     ::close(fd);
     throw_errno("PmemRegion::open fstat " + path);
+  }
+  if (st.st_size <= 0) {
+    // Not an OS error (errno is stale here): the backing file was truncated
+    // to nothing — a corrupt image, reported as such rather than crashing
+    // in mmap or in a later header read.
+    ::close(fd);
+    throw std::runtime_error("PmemRegion::open " + path +
+                             ": region file is empty (truncated image?)");
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   void* base =

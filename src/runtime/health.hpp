@@ -16,6 +16,15 @@
 
 namespace nvc::runtime {
 
+/// Headline verdict of a salvage-mode recovery pass (runtime/recovery.hpp).
+enum class RecoveryOutcome : std::uint8_t {
+  kClean,          // image committed; nothing to replay
+  kSalvaged,       // uncommitted FASEs rolled back to the last verifiable
+                   // commit; image is consistent
+  kUnrecoverable,  // corruption destroyed state the all-or-nothing contract
+                   // depends on — surviving bytes must not be trusted
+};
+
 /// Aggregated media-health view over every thread context of a Runtime.
 struct HealthReport {
   /// A FaultInjector is wired into the flush paths (even if all-zero rates).
@@ -48,10 +57,26 @@ struct HealthReport {
   /// disproportionate share of the device's endurance budget.
   double wear_leveling_skew = 0.0;
 
+  /// Salvage-mode recovery (runtime/recovery.hpp): set once Runtime::recover
+  /// has run. The full classified RecoveryReport is available from
+  /// Runtime::last_recovery(); this is the operator headline.
+  bool recovery_ran = false;
+  RecoveryOutcome recovery_outcome = RecoveryOutcome::kClean;
+  std::uint64_t recovery_records_undone = 0;
+  std::uint64_t recovery_defects = 0;
+
+  /// Online scrubber (runtime/scrub.hpp): zero unless NVC_SCRUB armed it.
+  bool scrub_attached = false;
+  std::uint64_t scrub_lines_scanned = 0;
+  std::uint64_t scrub_metadata_repairs = 0;  // restored from redundant copies
+  std::uint64_t scrub_checksum_mismatches = 0;
+  std::uint64_t scrub_media_quarantines = 0;  // injector-confirmed bad lines
+
   /// Any degradation latch fired or any line was lost.
   bool degraded() const noexcept {
     return flush_degraded_contexts > 0 || log_degraded_contexts > 0 ||
-           commit_suspended_contexts > 0 || !quarantined_lines.empty();
+           commit_suspended_contexts > 0 || !quarantined_lines.empty() ||
+           recovery_outcome == RecoveryOutcome::kUnrecoverable;
   }
 };
 

@@ -13,6 +13,7 @@
 #include "core/log_ordered_sink.hpp"
 #include "pmem/wear.hpp"
 #include "runtime/backend_sink.hpp"
+#include "runtime/scrub.hpp"
 
 namespace nvc::runtime {
 
@@ -264,6 +265,10 @@ struct Runtime::ThreadContext {
   /// the retrying synchronous sink, bypassing the ring.
   std::unique_ptr<core::LogOrderedSink> ordered_sync;
   std::uint32_t fase_depth = 0;
+  /// Data-region line indices this FASE has touched (NVC_VERIFY_DATA only;
+  /// stays empty otherwise). fase_end publishes their commit-time checksums
+  /// into the shared LineVerifyTable after a successful log commit.
+  std::vector<std::size_t> touched_lines;
   // Graceful-degradation latches (one-way; evaluated at outermost
   // fase_begin, except commit suspension which fires at fase_end):
   bool flush_degraded = false;
@@ -297,6 +302,21 @@ Runtime::Runtime(RuntimeConfig config)
           : pmem::PmemRegion::open(config_.region_name);
   allocator_ =
       std::make_unique<pmem::PmemAllocator>(std::move(data), config_.fresh);
+  if (!config_.fresh) {
+    // Consume the clean-shutdown proof before any mutation: a crash from
+    // here on must reopen as *unsealed* (the seal only ever vouches for an
+    // image no live runtime can still be dirtying).
+    allocator_->unseal();
+    pmem::FlushBackend backend(config_.flush, config_.simulated_flush_ns);
+    backend.flush_range(static_cast<char*>(allocator_->region().base()) +
+                            pmem::PmemAllocator::seal_offset(),
+                        sizeof(std::uint64_t));
+    backend.fence();
+  }
+  if (config_.verify_data) {
+    verify_table_ =
+        std::make_shared<LineVerifyTable>(allocator_->region().size());
+  }
   // Contexts hash admission-doorkeeper slots relative to the region base so
   // bypass/readmit decisions replay bit-for-bit across processes (ASLR moves
   // the mapping; line offsets within the region do not).
@@ -322,9 +342,69 @@ Runtime::Runtime(RuntimeConfig config)
       log_region_ = pmem::PmemRegion::open(log_name);
     }
   }
+
+  if (config_.scrub) {
+    ScrubConfig sc;
+    sc.batch_lines = config_.scrub_batch_lines;
+    sc.repair_metadata = config_.scrub_repair;
+    scrubber_ = std::make_shared<Scrubber>(
+        sc, allocator_->region().base(), allocator_->region().size(),
+        log_region_.valid() ? log_region_.base() : nullptr,
+        config_.log_segment_size,
+        log_region_.valid() ? config_.max_threads : 0);
+    scrubber_->set_header_lock(&alloc_mutex_);
+    if (verify_table_ != nullptr) scrubber_->set_verify_table(verify_table_);
+    if (injector_ != nullptr && !injector_->idle()) {
+      // Same armed/idle rule as the per-context fault machinery: an idle
+      // injector never marks a line bad, so the media check would be dead
+      // weight on every scanned line.
+      scrub_faults_ = std::make_shared<core::FaultStats>();
+      scrubber_->set_injector(injector_);
+      scrubber_->set_fault_stats(scrub_faults_);
+    }
+    if (wear_ != nullptr) scrubber_->set_wear(wear_);
+    {
+      std::lock_guard<std::mutex> lock(alloc_mutex_);
+      scrubber_->refresh_header_mirror();
+    }
+    // The pool holds only a weak_ptr: resetting scrubber_ is deregistration.
+    core::FlushWorker::shared().register_idle_task(scrubber_);
+  }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // A pool worker may be mid-slice holding a locked shared_ptr; the weak_ptr
+  // expiring cannot interrupt that, so stop the scrubber and wait out any
+  // in-flight slice before the region can be unmapped below.
+  if (scrubber_ != nullptr) scrubber_->shutdown();
+
+  // Seal the heap iff shutdown is provably clean: every context quiescent
+  // (no open FASE, no suspended commit) and every write-back ring drained.
+  // The seal is the recovery pipeline's clean-shutdown fast path; writing it
+  // over a dirty image would vouch for bytes still in flight.
+  bool quiescent = allocator_ != nullptr;
+  {
+    std::lock_guard<std::mutex> lock(contexts_mutex_);
+    for (const auto& c : contexts_) {
+      if (c->flush_channel) c->flush_channel->wait_drained();
+      if (c->fase_depth != 0 || c->commit_suspended) quiescent = false;
+      if (c->faults != nullptr && c->faults->quarantined_count() > 0) {
+        quiescent = false;
+      }
+    }
+  }
+  if (scrub_faults_ != nullptr && scrub_faults_->quarantined_count() > 0) {
+    quiescent = false;
+  }
+  if (quiescent) {
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    allocator_->seal();
+    pmem::FlushBackend backend(config_.flush, config_.simulated_flush_ns);
+    backend.flush_range(allocator_->region().base(),
+                        pmem::PmemAllocator::header_size());
+    backend.fence();
+  }
+}
 
 Runtime::ThreadContext& Runtime::ctx() {
   // Single-entry fast path: a thread overwhelmingly talks to one Runtime, so
@@ -368,6 +448,7 @@ void* Runtime::pm_alloc(std::size_t size) {
   std::lock_guard<std::mutex> lock(alloc_mutex_);
   const pmem::POffset off = allocator_->allocate(size);
   NVC_REQUIRE(off != pmem::kNullOffset, "persistent region exhausted");
+  if (scrubber_ != nullptr) scrubber_->refresh_header_mirror();
   return allocator_->resolve(off);
 }
 
@@ -375,12 +456,14 @@ void Runtime::pm_free(void* p) {
   if (p == nullptr) return;
   std::lock_guard<std::mutex> lock(alloc_mutex_);
   allocator_->deallocate(allocator_->offset_of(p));
+  if (scrubber_ != nullptr) scrubber_->refresh_header_mirror();
 }
 
 void Runtime::set_root(void* p) {
   std::lock_guard<std::mutex> lock(alloc_mutex_);
   allocator_->set_root(p == nullptr ? pmem::kNullOffset
                                     : allocator_->offset_of(p));
+  if (scrubber_ != nullptr) scrubber_->refresh_header_mirror();
 }
 
 void* Runtime::get_root() const {
@@ -430,15 +513,34 @@ void Runtime::fase_end() {
     if (c.log) {
       // Commit suspension: once any line of this context is quarantined,
       // never move the commit point again (checked after the policy's
-      // flushes above, which is where quarantine verdicts land).
+      // flushes above, which is where quarantine verdicts land). Touched
+      // lines stay dirty in the verify table — their content was never
+      // committed, so no checksum may vouch for it.
       if (c.commit_suspended) return;
       if (c.faults != nullptr && c.faults->quarantined_count() > 0) {
         c.commit_suspended = true;
         return;
       }
-      c.log->commit();  // atomic commit point of the FASE
+      if (c.log->commit()) publish_commit(c);  // atomic commit point
+    } else {
+      // No undo log: the FASE boundary itself is the commit point for
+      // checksum purposes.
+      publish_commit(c);
     }
   }
+}
+
+void Runtime::publish_commit(ThreadContext& c) {
+  if (verify_table_ == nullptr || c.touched_lines.empty()) return;
+  std::sort(c.touched_lines.begin(), c.touched_lines.end());
+  c.touched_lines.erase(
+      std::unique(c.touched_lines.begin(), c.touched_lines.end()),
+      c.touched_lines.end());
+  const char* base = static_cast<const char*>(allocator_->region().base());
+  for (const std::size_t idx : c.touched_lines) {
+    verify_table_->note_commit(idx, base + idx * kCacheLineSize);
+  }
+  c.touched_lines.clear();
 }
 
 void Runtime::pstore(void* dst, const void* src, std::size_t len) {
@@ -501,50 +603,68 @@ void Runtime::pwrote_in(ThreadContext& c, const void* addr, std::size_t len) {
   const auto a = reinterpret_cast<PmAddr>(addr);
   const LineAddr first = line_of(a);
   const LineAddr last = line_of(a + len - 1);
+  if (verify_table_ != nullptr) {
+    // NVC_VERIFY_DATA: dirty every touched line (suppressing scrub checks
+    // while content is in flight). Lines touched inside a FASE are recorded
+    // so fase_end can publish their checksums at the commit point; stores
+    // outside any FASE leave the line permanently dirty — there is no commit
+    // whose content a checksum could vouch for.
+    const auto base = reinterpret_cast<PmAddr>(allocator_->region().base());
+    if (a >= base && a + len <= base + allocator_->region().size()) {
+      const LineAddr base_line = line_of(base);
+      for (LineAddr line = first; line <= last; ++line) {
+        const auto idx = static_cast<std::size_t>(line - base_line);
+        verify_table_->mark_dirty(idx);
+        if (c.fase_depth > 0) c.touched_lines.push_back(idx);
+      }
+    }
+  }
   core::FlushSink& sink = c.data_sink();
   for (LineAddr line = first; line <= last; ++line) {
     c.policy->on_store(line, sink);
   }
 }
 
+RegionView Runtime::region_view(core::FlushSink* sink) const {
+  RegionView view;
+  view.data = allocator_->region().base();
+  view.data_size = allocator_->region().size();
+  view.logs = log_region_.valid() ? log_region_.base() : nullptr;
+  view.log_segment_size = config_.log_segment_size;
+  view.log_segments = log_region_.valid() ? config_.max_threads : 0;
+  view.sink = sink;
+  return view;
+}
+
 bool Runtime::needs_recovery() const {
   if (!config_.undo_logging || !log_region_.valid()) return false;
-  pmem::FlushBackend backend(pmem::FlushKind::kCountOnly);
-  BackendSink sink(&backend);
-  for (std::size_t s = 0; s < config_.max_threads; ++s) {
-    UndoLog log(static_cast<char*>(log_region_.base()) +
-                    s * config_.log_segment_size,
-                config_.log_segment_size, &sink);
-    if (log.needs_recovery()) return true;
-  }
-  return false;
+  return RecoveryManager(region_view(nullptr)).needs_recovery();
 }
 
 std::size_t Runtime::recover() {
   if (!config_.undo_logging || !log_region_.valid()) return 0;
   pmem::FlushBackend backend(config_.flush, config_.simulated_flush_ns);
   BackendSink sink(&backend);
-  std::size_t undone = 0;
-  for (std::size_t s = 0; s < config_.max_threads; ++s) {
-    UndoLog log(static_cast<char*>(log_region_.base()) +
-                    s * config_.log_segment_size,
-                config_.log_segment_size, &sink);
-    if (!log.needs_recovery()) continue;
-    undone += log.rollback(
-        [this, &backend](std::uint64_t token, const void* bytes,
-                         std::uint32_t len) {
-          // Defensive bound: a record whose token falls outside the data
-          // region is untrusted (a torn or corrupted entry that happened to
-          // self-certify); skipping it is strictly safer than writing
-          // through a wild pointer.
-          if (token + len > allocator_->region().size()) return;
-          void* dst = allocator_->region().at(token);
-          std::memcpy(dst, bytes, len);
-          backend.flush_range(dst, len);
-        });
-    backend.fence();
+  RecoveryManager manager(region_view(&sink));
+  if (verify_table_ != nullptr) manager.set_verify_table(verify_table_.get());
+  RecoveryReport report = manager.run();
+  backend.fence();
+  const std::size_t undone = report.records_undone;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    recovery_ran_ = true;
+    last_recovery_ = std::move(report);
   }
   return undone;
+}
+
+RecoveryReport Runtime::last_recovery() const {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  return last_recovery_;
+}
+
+ScrubStats Runtime::scrub_stats() const {
+  return scrubber_ != nullptr ? scrubber_->stats() : ScrubStats{};
 }
 
 void Runtime::thread_flush() {
@@ -626,6 +746,13 @@ HealthReport Runtime::health() const {
     report.log_degraded_contexts += c->log_degraded ? 1 : 0;
     report.commit_suspended_contexts += c->commit_suspended ? 1 : 0;
   }
+  if (scrub_faults_ != nullptr) {
+    // Scrub-discovered media failures join the same quarantine ledger as
+    // write-path discoveries.
+    const std::vector<LineAddr> lines = scrub_faults_->quarantined_lines();
+    report.quarantined_lines.insert(report.quarantined_lines.end(),
+                                    lines.begin(), lines.end());
+  }
   std::sort(report.quarantined_lines.begin(), report.quarantined_lines.end());
   report.quarantined_lines.erase(
       std::unique(report.quarantined_lines.begin(),
@@ -639,12 +766,35 @@ HealthReport Runtime::health() const {
     report.wear_mean_line_writes = ws.mean_line_writes;
     report.wear_leveling_skew = ws.leveling_skew;
   }
+  {
+    std::lock_guard<std::mutex> rlock(recovery_mutex_);
+    report.recovery_ran = recovery_ran_;
+    if (recovery_ran_) {
+      report.recovery_outcome = last_recovery_.outcome;
+      report.recovery_records_undone = last_recovery_.records_undone;
+      report.recovery_defects = last_recovery_.defects.size();
+    }
+  }
+  if (scrubber_ != nullptr) {
+    report.scrub_attached = true;
+    const ScrubStats ss = scrubber_->stats();
+    report.scrub_lines_scanned = ss.lines_scanned;
+    report.scrub_metadata_repairs = ss.metadata_repairs;
+    report.scrub_checksum_mismatches = ss.checksum_mismatches;
+    report.scrub_media_quarantines = ss.media_quarantines;
+  }
   return report;
 }
 
 void Runtime::destroy_storage() {
   const std::string data_name = config_.region_name;
   const std::string log_name = config_.region_name + ".log";
+  if (scrubber_ != nullptr) {
+    // Stop slices (and wait out an in-flight one) before the mappings go
+    // away; resetting drops the pool's weak_ptr registration.
+    scrubber_->shutdown();
+    scrubber_.reset();
+  }
   {
     // Write back anything still queued in the pipeline while the region is
     // still mapped (an eviction pushed outside a FASE has no commit point

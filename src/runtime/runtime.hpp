@@ -27,15 +27,20 @@
 
 #include "common/types.hpp"
 #include "core/elision.hpp"
+#include "core/fault_sink.hpp"
 #include "core/policy.hpp"
 #include "pmem/fault.hpp"
 #include "pmem/flush.hpp"
 #include "pmem/pmem_alloc.hpp"
 #include "pmem/pmem_region.hpp"
 #include "runtime/health.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/undo_log.hpp"
 
 namespace nvc::runtime {
+
+class Scrubber;
+struct ScrubStats;
 
 struct RuntimeConfig {
   std::string region_name = "default";
@@ -93,6 +98,26 @@ struct RuntimeConfig {
   bool elide = false;
   /// Elision-table slot count (power of two; NVC_ELIDE_TABLE).
   std::size_t elide_table_slots = 4096;
+
+  /// Commit-granularity data verification (NVC_VERIFY_DATA=1, DESIGN.md
+  /// §14): every FASE commit publishes a CRC32C per touched data line into
+  /// a shared LineVerifyTable; the online scrubber and the recovery
+  /// pipeline's verify stage check lines against it. Off by default: the
+  /// store path keeps a single null-pointer test.
+  bool verify_data = false;
+
+  /// Online scrubbing (NVC_SCRUB=1, DESIGN.md §14): register a background
+  /// Scrubber on the flush-worker pool's idle hook — it re-reads the image
+  /// when the write-back rings are empty, repairs detectably corrupt
+  /// metadata from redundant copies, and quarantines lines the fault
+  /// model marks bad. Requires nothing else; combines with verify_data for
+  /// data-line checking.
+  bool scrub = false;
+  /// Data lines re-read per idle slice (NVC_SCRUB_BATCH).
+  std::size_t scrub_batch_lines = 64;
+  /// Restore detectably corrupt metadata in place (NVC_SCRUB_REPAIR;
+  /// 0 = detect and count only).
+  bool scrub_repair = true;
 };
 
 /// Statistics aggregated over all thread contexts.
@@ -190,11 +215,20 @@ class Runtime {
 
   // --- recovery -------------------------------------------------------------
 
-  /// True if any thread's log segment holds uncommitted records.
+  /// True if any thread's log segment holds uncommitted records — or
+  /// corruption the salvage pipeline needs to classify and repair.
   bool needs_recovery() const;
 
-  /// Roll back all uncommitted FASEs; returns records undone.
+  /// Run the salvage-mode recovery pipeline (runtime/recovery.hpp): roll
+  /// back uncommitted FASEs to their last verifiable commit, classify every
+  /// corruption, reformat unrecoverable log segments. Returns records
+  /// undone; the full report is available from last_recovery() and the
+  /// headline from health().
   std::size_t recover();
+
+  /// Classified report of the most recent recover() (default-constructed
+  /// if recovery never ran; see HealthReport::recovery_ran).
+  RecoveryReport last_recovery() const;
 
   // --- introspection ---------------------------------------------------------
 
@@ -211,6 +245,16 @@ class Runtime {
   const RuntimeConfig& config() const noexcept { return config_; }
   pmem::PmemAllocator& allocator() noexcept { return *allocator_; }
 
+  /// Commit-time data checksums (null unless config.verify_data).
+  const LineVerifyTable* verify_table() const noexcept {
+    return verify_table_.get();
+  }
+  /// The online scrubber (null unless config.scrub). Exposed so tests and
+  /// benchmarks can pump slices manually instead of waiting for pool idle.
+  Scrubber* scrubber() noexcept { return scrubber_.get(); }
+  /// Scrubber counters (all zero when scrubbing is off).
+  ScrubStats scrub_stats() const;
+
   /// Remove the backing files (test teardown).
   void destroy_storage();
 
@@ -221,6 +265,11 @@ class Runtime {
   ThreadContext& ctx_slow();
   void pwrote_in(ThreadContext& c, const void* addr, std::size_t len);
   void maybe_degrade(ThreadContext& c);
+  /// Publish commit-time checksums for the FASE's touched lines
+  /// (NVC_VERIFY_DATA; no-op otherwise).
+  void publish_commit(ThreadContext& c);
+  /// Raw-memory view of the live regions for the recovery pipeline.
+  RegionView region_view(core::FlushSink* sink) const;
 
   RuntimeConfig config_;
   /// Media-fault decision source (null when config_.fault is disabled).
@@ -237,6 +286,23 @@ class Runtime {
   std::unique_ptr<pmem::PmemAllocator> allocator_;
   pmem::PmemRegion log_region_;
   std::uint64_t instance_id_;
+  /// Commit-time data-line checksums (null unless config_.verify_data).
+  /// Shared: the scrubber holds a reference and is itself kept alive by the
+  /// worker pool only through a weak_ptr, but belt-and-braces beats a
+  /// dangle.
+  std::shared_ptr<LineVerifyTable> verify_table_;
+  /// Online scrubber (null unless config_.scrub). shared_ptr because the
+  /// pool's idle hook tracks it via weak_ptr — destruction is deregistration.
+  std::shared_ptr<Scrubber> scrubber_;
+  /// Quarantine destination for scrub discoveries (allocated only when an
+  /// armed injector exists). Separate from the per-context FaultStats —
+  /// scrub findings are global, not attributable to one thread — and merged
+  /// into health() alongside them.
+  std::shared_ptr<core::FaultStats> scrub_faults_;
+  /// Most recent salvage report (guarded by recovery_mutex_).
+  mutable std::mutex recovery_mutex_;
+  RecoveryReport last_recovery_;
+  bool recovery_ran_ = false;
 
   /// Guards the persistent heap (allocate/free/root). Separate from
   /// contexts_mutex_ so allocation never contends with thread registration

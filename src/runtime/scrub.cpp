@@ -1,0 +1,140 @@
+#include "runtime/scrub.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pmem/pmem_alloc.hpp"
+#include "runtime/undo_log.hpp"
+
+namespace nvc::runtime {
+
+Scrubber::Scrubber(ScrubConfig config, void* data, std::size_t data_size,
+                   void* logs, std::size_t log_segment_size,
+                   std::size_t log_segments)
+    : config_(config),
+      data_(static_cast<char*>(data)),
+      data_size_(data_size),
+      logs_(static_cast<char*>(logs)),
+      log_segment_size_(log_segment_size),
+      log_segments_(log_segments) {}
+
+void Scrubber::refresh_header_mirror() {
+  // Caller holds header_lock_. The mirror is refreshed after every
+  // legitimate mutation, so by the time scrub_metadata compares (under the
+  // same lock) any divergence with an *implausible* live header is
+  // corruption, never an in-flight update.
+  const std::size_t n = pmem::PmemAllocator::header_size();
+  if (data_ == nullptr || data_size_ < n) return;
+  header_mirror_.resize(n);
+  std::memcpy(header_mirror_.data(), data_, n);
+  mirror_valid_ = true;
+}
+
+void Scrubber::scrub_metadata() {
+  // Heap header: only under the owner's lock, and only repair when the
+  // header fails its own plausibility checks — a legitimate racer never
+  // produces an implausible header, so restoring the mirror can never
+  // clobber a valid newer state.
+  if (header_lock_ != nullptr && data_ != nullptr) {
+    std::lock_guard<std::mutex> lock(*header_lock_);
+    const pmem::PmemAllocator::HeaderStatus st =
+        pmem::PmemAllocator::inspect(data_, data_size_);
+    const bool corrupt = !st.magic_ok || !st.version_ok || !st.bump_plausible;
+    if (corrupt) {
+      ++checksum_mismatches_;  // detected either way
+      if (config_.repair_metadata && mirror_valid_) {
+        std::memcpy(data_, header_mirror_.data(), header_mirror_.size());
+        metadata_repairs_.fetch_add(1, std::memory_order_relaxed);
+        if (wear_ != nullptr) {
+          // A repair is a media write like any other.
+          const LineAddr first = line_of(reinterpret_cast<PmAddr>(data_));
+          const LineAddr last = line_of(reinterpret_cast<PmAddr>(
+              data_ + header_mirror_.size() - 1));
+          for (LineAddr line = first; line <= last; ++line) {
+            wear_->record(line);
+          }
+        }
+      }
+    }
+  }
+
+  // Undo-log header magics: the magic is immutable after format, so the
+  // compile-time constant IS the redundant copy. The state word mutates on
+  // every sync/commit and cannot be checked online. All-zero headers are
+  // stillborn slots, not corruption.
+  if (logs_ != nullptr && config_.repair_metadata) {
+    for (std::size_t s = 0; s < log_segments_; ++s) {
+      char* seg = logs_ + s * log_segment_size_;
+      std::uint64_t magic;
+      std::memcpy(&magic, seg, sizeof(magic));
+      if (magic == UndoLog::kMagic || magic == 0) continue;
+      const std::uint64_t fixed = UndoLog::kMagic;
+      std::memcpy(seg, &fixed, sizeof(fixed));
+      metadata_repairs_.fetch_add(1, std::memory_order_relaxed);
+      if (wear_ != nullptr) {
+        wear_->record(line_of(reinterpret_cast<PmAddr>(seg)));
+      }
+    }
+  }
+}
+
+void Scrubber::scrub_data_batch() {
+  if (data_ == nullptr || data_size_ < kCacheLineSize) return;
+  const std::size_t total_lines = data_size_ / kCacheLineSize;
+  const std::size_t batch = std::min(config_.batch_lines, total_lines);
+  const bool check_media = injector_ != nullptr && fault_stats_ != nullptr;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t idx = cursor_;
+    cursor_ = (cursor_ + 1) % total_lines;
+    if (cursor_ == 0) passes_.fetch_add(1, std::memory_order_relaxed);
+    const char* line_bytes = data_ + idx * kCacheLineSize;
+    const LineAddr line = line_of(reinterpret_cast<PmAddr>(line_bytes));
+    if (check_media && injector_->line_bad(line) &&
+        !fault_stats_->quarantined(line)) {
+      // The persistent-fault model says this line's media is gone: poison
+      // it through the same FaultStats the write path uses, so commit
+      // suspension and HealthReport treat a scrub discovery exactly like a
+      // write-back discovery.
+      fault_stats_->quarantine(line);
+      media_quarantines_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (table_ != nullptr && !table_->verify(idx, line_bytes)) {
+      // Committed content no longer matches its commit-time checksum and
+      // no store is in flight (dirty lines are not checkable). Data has no
+      // redundant copy — count and surface, never "repair" by guessing.
+      checksum_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lines_scanned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Scrubber::idle_step() {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  std::unique_lock<std::mutex> lock(slice_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;  // another worker's slice is running
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  scrub_metadata();
+  scrub_data_batch();
+  slices_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Scrubber::shutdown() {
+  stopped_.store(true, std::memory_order_release);
+  // Wait out an in-flight slice: once we hold the slice lock, every later
+  // idle_step observes stopped_ and returns before touching the region.
+  std::lock_guard<std::mutex> lock(slice_mutex_);
+}
+
+ScrubStats Scrubber::stats() const {
+  ScrubStats s;
+  s.slices = slices_.load(std::memory_order_relaxed);
+  s.passes = passes_.load(std::memory_order_relaxed);
+  s.lines_scanned = lines_scanned_.load(std::memory_order_relaxed);
+  s.metadata_repairs = metadata_repairs_.load(std::memory_order_relaxed);
+  s.checksum_mismatches = checksum_mismatches_.load(std::memory_order_relaxed);
+  s.media_quarantines = media_quarantines_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace nvc::runtime

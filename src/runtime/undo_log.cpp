@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/assert.hpp"
+#include "common/checksum.hpp"
 
 namespace nvc::runtime {
 
@@ -85,17 +86,14 @@ std::uint32_t UndoLog::entry_check(std::uint64_t addr_token, std::uint32_t len,
   // FNV-1a over token, length, generation, and the payload bytes. The
   // generation term invalidates stale entries after commit(); the payload
   // term catches torn entries whose head line persisted without the data.
-  std::uint32_t h = 0x811c9dc5u;
-  const auto mix = [&h](std::uint8_t byte) {
-    h ^= byte;
-    h *= 0x01000193u;
-  };
-  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(addr_token >> (8 * i)));
-  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(len >> (8 * i)));
-  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(gen >> (8 * i)));
-  const auto* bytes = static_cast<const std::uint8_t*>(payload);
-  for (std::uint32_t i = 0; i < len; ++i) mix(bytes[i]);
-  return h;
+  // The mix order (token LE, len LE, gen LE, payload) is the durable format
+  // from PR 2 — common/checksum.hpp reproduces it bit-for-bit.
+  Fnv32 h;
+  h.mix_le(addr_token);
+  h.mix_le(len);
+  h.mix_le(gen);
+  h.mix_bytes(payload, len);
+  return h.value();
 }
 
 void UndoLog::format() {
@@ -119,28 +117,45 @@ bool UndoLog::needs_recovery() const {
 
 std::uint64_t UndoLog::tail() const { return state_tail(header()->state); }
 
-std::vector<std::uint64_t> UndoLog::walk_entries() const {
-  std::vector<std::uint64_t> offsets;
-  const std::uint32_t gen = state_gen(header()->state);
+UndoLog::Inspection UndoLog::inspect(const void* base, std::size_t size) {
+  Inspection out;
+  if (base == nullptr || size < kHeaderSize + sizeof(EntryHead)) return out;
+  const char* bytes = static_cast<const char*>(base);
+  LogHeader head_copy;
+  std::memcpy(&head_copy, bytes, sizeof(head_copy));
+  if (head_copy.magic != kMagic) return out;
+  out.formatted = true;
+  out.gen = state_gen(head_copy.state);
+  out.durable_tail = state_tail(head_copy.state);
+  out.state_plausible =
+      out.durable_tail >= kHeaderSize && out.durable_tail <= size;
   std::uint64_t off = kHeaderSize;
-  while (off + sizeof(EntryHead) <= size_) {
-    const auto* head = reinterpret_cast<const EntryHead*>(base_ + off);
-    if (head->len < 1 || head->len > kMaxPayload) break;
-    const std::uint64_t entry_size =
-        sizeof(EntryHead) + align_up(head->len, 8);
-    if (off + entry_size > size_) break;
-    if (head->check != entry_check(head->addr_token, head->len, gen,
-                                   base_ + off + sizeof(EntryHead))) {
+  while (off + sizeof(EntryHead) <= size) {
+    EntryHead entry;
+    std::memcpy(&entry, bytes + off, sizeof(entry));
+    if (entry.len < 1 || entry.len > kMaxPayload) break;
+    const std::uint64_t entry_size = sizeof(EntryHead) + align_up(entry.len, 8);
+    if (off + entry_size > size) break;
+    if (entry.check != entry_check(entry.addr_token, entry.len, out.gen,
+                                   bytes + off + sizeof(EntryHead))) {
       break;
     }
-    offsets.push_back(off);
-    off = off + entry_size;
+    out.offsets.push_back(off);
+    off += entry_size;
   }
+  out.certified_extent = off;
   // Everything below the durable tail was synced (flushed + fenced) before
-  // the tail was published, so the chain must reach at least that far.
-  NVC_REQUIRE(off >= state_tail(header()->state),
+  // the tail was published; a chain that stops short of it means synced
+  // bytes were corrupted after the fact.
+  out.tail_covered = out.state_plausible && off >= out.durable_tail;
+  return out;
+}
+
+std::vector<std::uint64_t> UndoLog::walk_entries() const {
+  Inspection ins = inspect(base_, size_);
+  NVC_REQUIRE(ins.tail_covered,
               "corrupt undo log: synced entries fail validation");
-  return offsets;
+  return std::move(ins.offsets);
 }
 
 void UndoLog::record(std::uint64_t addr_token, const void* current_bytes,

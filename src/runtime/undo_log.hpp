@@ -132,7 +132,9 @@ class UndoLog final : public core::EpochLog {
   static constexpr std::uint32_t kMaxPayload = 256;
   static constexpr std::size_t kHeaderSize = kCacheLineSize;
 
- private:
+  // The durable layout is public: the salvage-mode RecoveryManager and the
+  // image fuzzer read (and deliberately corrupt) segments without an UndoLog
+  // object, so they need the header/entry shapes and the state packing.
   struct LogHeader {
     std::uint64_t magic;
     std::uint64_t state;  // generation << 32 | tail (one atomic 8-byte word)
@@ -155,16 +157,35 @@ class UndoLog final : public core::EpochLog {
     return state & 0xffffffffULL;
   }
 
-  LogHeader* header() const { return reinterpret_cast<LogHeader*>(base_); }
-  bool persist(const void* p, std::size_t len);
-  bool publish_state(std::uint32_t gen, std::uint64_t tail);
+  /// Self-certifying check word over token/len/generation/payload (FNV-1a
+  /// via common/checksum.hpp; the mix order is the durable format).
   static std::uint32_t entry_check(std::uint64_t addr_token, std::uint32_t len,
                                    std::uint32_t gen,
                                    const void* payload) noexcept;
 
+  /// Untrusted read of a raw log segment: never aborts, never reads outside
+  /// [base, base+size). The salvage pipeline's view of a segment whose
+  /// bytes may be arbitrary garbage.
+  struct Inspection {
+    bool formatted = false;        // header magic validates
+    bool state_plausible = false;  // durable tail lands inside the segment
+    bool tail_covered = false;     // certified chain reaches the durable tail
+    std::uint32_t gen = 0;
+    std::uint64_t durable_tail = 0;
+    std::uint64_t certified_extent = 0;   // end offset of the certified chain
+    std::vector<std::uint64_t> offsets;   // certified entries, oldest first
+  };
+  static Inspection inspect(const void* base, std::size_t size);
+
+ private:
+  LogHeader* header() const { return reinterpret_cast<LogHeader*>(base_); }
+  bool persist(const void* p, std::size_t len);
+  bool publish_state(std::uint32_t gen, std::uint64_t tail);
+
   /// Offsets of every entry of the current generation that self-certifies,
   /// oldest first, starting at kHeaderSize; stops at the first entry that
-  /// fails validation. Requires the chain to cover the durable tail.
+  /// fails validation. Requires the chain to cover the durable tail (the
+  /// trusted in-process path; RecoveryManager uses inspect() instead).
   std::vector<std::uint64_t> walk_entries() const;
 
   char* base_;

@@ -20,7 +20,7 @@ struct CrashRig::FreezeSink final : core::FlushSink {
     // the power-failure cut must be a single consistent point.
     const std::uint64_t e = rig->claim_event();
     if (!rig->powered(e)) {
-      // Power is off: the line never persists — except that the write-back
+      // Power is off: the line never persists — except that write-backs
       // racing the cut may land torn (fault dimension; no-op when no
       // injector or the line drew "no tear"). Either way report success:
       // software running before the cut can never observe this outcome.
@@ -30,7 +30,13 @@ struct CrashRig::FreezeSink final : core::FlushSink {
     std::lock_guard<std::mutex> lock(rig->shadow_mutex_);
     return rig->shadow_.flush_line(line - shift);
   }
-  void drain() override { fences.fetch_add(1, std::memory_order_relaxed); }
+  void drain() override {
+    fences.fetch_add(1, std::memory_order_relaxed);
+    // A post-cut fence closes the tear window (see CrashRig::maybe_tear):
+    // ordering software issued after the cut never completed, so nothing
+    // sequenced behind this fence can have reached the write queue.
+    if (!rig->powered(rig->events())) rig->note_fence();
+  }
   CrashRig* rig;
   LineAddr shift;
   std::atomic<std::uint64_t> flushes{0};
@@ -355,18 +361,46 @@ bool CrashRig::pump_analysis(std::size_t ctx, std::size_t worker) {
 }
 
 void CrashRig::maybe_tear(LineAddr line, std::uint64_t event) {
-  // Only the write-back claiming the event right after the cut is truly
-  // racing the power failure. Restricting the tear to it is also what
-  // keeps recovery sound: everything that ordered before it — in
-  // particular the log sync the LogOrderedSink ran for a data line —
-  // claimed pre-freeze events and is durable, so the torn-in bytes are
-  // always covered by durable undo records (data) or self-certification
-  // (log). A later post-freeze flush has no such guarantee.
-  if (!injector_ || event != freeze_event_ + 1) return;
-  const std::size_t bytes = injector_->torn_bytes(line);
-  if (bytes == 0) return;
+  // The write queue racing the power cut can hold *several* lines: every
+  // flush in the gapless run of post-cut events freeze+1, freeze+2, … was
+  // issued back-to-back with no intervening activity, i.e. it sat in the
+  // same in-flight burst when power failed. Each such line independently
+  // drops or lands torn, per the injector's pure per-line tear decision.
+  //
+  // What keeps recovery sound is when the window *closes* — permanently:
+  //   * on any event-index gap (a pstore or powered flush claimed an index:
+  //     the burst was over, later flushes are ordinary post-cut activity
+  //     that never reached the queue);
+  //   * on any post-cut fence (FreezeSink::drain): ordering issued after
+  //     the cut never completed, so flushes sequenced behind it were never
+  //     issued — in particular a batched log sync's fence sits between the
+  //     log flushes and the data flushes it orders, so a data line can
+  //     never tear in ahead of the (dropped) records that cover it;
+  //   * at config_.tear_burst lines (a write queue has finite depth).
+  // Within an open window every log sync ordered before the burst claimed
+  // pre-cut events and is durable, so torn-in data bytes are always covered
+  // by durable undo records, and torn log lines are self-certifying.
+  if (!injector_) return;
   std::lock_guard<std::mutex> lock(shadow_mutex_);
+  if (tear_closed_) return;
+  if (event == freeze_event_ + 1) {
+    tear_depth_ = 1;
+  } else if (tear_depth_ > 0 && event == tear_last_event_ + 1 &&
+             tear_depth_ < config_.tear_burst) {
+    ++tear_depth_;
+  } else {
+    if (tear_depth_ > 0) tear_closed_ = true;
+    return;
+  }
+  tear_last_event_ = event;
+  const std::size_t bytes = injector_->torn_bytes(line);
+  if (bytes == 0) return;  // this line drops entirely instead of tearing
   shadow_.flush_line_torn(line, bytes);
+}
+
+void CrashRig::note_fence() {
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
+  if (tear_depth_ > 0) tear_closed_ = true;
 }
 
 const core::FaultStats& CrashRig::fault_stats(std::size_t ctx) const {
@@ -444,6 +478,12 @@ std::vector<std::uint8_t> CrashRig::recovered_data(std::size_t ctx) {
 std::vector<std::uint8_t> CrashRig::durable_data(std::size_t ctx) const {
   std::vector<std::uint8_t> out(data_bytes());
   shadow_.load_durable(data_offset(ctx), out.data(), out.size());
+  return out;
+}
+
+std::vector<std::uint8_t> CrashRig::durable_image() const {
+  std::vector<std::uint8_t> out(shadow_.size());
+  shadow_.load_durable(0, out.data(), out.size());
   return out;
 }
 

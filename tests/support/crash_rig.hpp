@@ -75,9 +75,12 @@ struct CrashRigConfig {
   /// Media-fault dimension: when enabled(), the rig owns a FaultInjector
   /// attached to the shadow image, wraps every sink in FaultTolerantSink
   /// (retry/quarantine with the config's RetryPolicy fields), mirrors the
-  /// runtime's degradation latches, and lets the write-back racing the
-  /// power cut land torn. Decisions derive from fault.seed, so runs replay.
+  /// runtime's degradation latches, and lets write-backs racing the power
+  /// cut land torn. Decisions derive from fault.seed, so runs replay.
   pmem::FaultConfig fault;
+  /// Max lines of the write-back burst racing the power cut that may land
+  /// torn/dropped (the modeled write-queue depth; see CrashRig::maybe_tear).
+  std::size_t tear_burst = 8;
   /// Online sampler knobs (scaled down so short scripts complete bursts).
   std::uint64_t burst_length = 48;
   std::uint64_t hibernation_length = 32;
@@ -160,6 +163,21 @@ class CrashRig {
   /// Durable bytes of `ctx`'s data region, no crash/recovery.
   std::vector<std::uint8_t> durable_data(std::size_t ctx = 0) const;
 
+  /// The entire durable image — all data regions followed by all log
+  /// segments — with no crash/recovery applied. The corruption fuzzer
+  /// freezes a run, snapshots this, mutates it, and hands it to the
+  /// salvage pipeline (see image_data_offset/image_log_offset for layout).
+  std::vector<std::uint8_t> durable_image() const;
+  /// Byte offset of `ctx`'s data region within durable_image().
+  PmAddr image_data_offset(std::size_t ctx) const noexcept {
+    return data_offset(ctx);
+  }
+  /// Byte offset of `ctx`'s log segment within durable_image().
+  PmAddr image_log_offset(std::size_t ctx) const noexcept {
+    return log_offset(ctx);
+  }
+  std::size_t log_bytes() const noexcept { return config_.log_bytes; }
+
   // --- counters -------------------------------------------------------------
 
   std::uint64_t data_flushes() const noexcept;  // summed over contexts
@@ -206,11 +224,16 @@ class CrashRig {
   /// be frozen away).
   std::uint64_t claim_event();
 
-  /// Torn-write hook, called by FreezeSink for post-freeze flushes: the one
-  /// write-back truly racing the power cut (event index freeze+1 — any
-  /// later flush was issued by activity the cut already interrupted) may
-  /// persist a prefix of its line, per the injector's torn decision.
+  /// Torn-write hook, called by FreezeSink for post-freeze flushes: the
+  /// gapless burst of write-backs racing the power cut (event indices
+  /// freeze+1, freeze+2, … with no intervening event or fence, up to
+  /// config_.tear_burst lines) models the in-flight write queue — each of
+  /// its lines independently drops or persists a prefix, per the
+  /// injector's pure per-line torn decision. See the .cpp comment for why
+  /// the window-closing rules keep recovery sound.
   void maybe_tear(LineAddr line, std::uint64_t event);
+  /// Post-cut fence observed: permanently close an open tear window.
+  void note_fence();
 
   /// Degradation latches, evaluated at the outermost fase_begin.
   void maybe_degrade(Context& c);
@@ -235,6 +258,10 @@ class CrashRig {
   bool recovered_ = false;
   std::atomic<std::uint64_t> events_{0};
   std::uint64_t freeze_event_ = ~std::uint64_t{0};
+  /// Tear-window state (guarded by shadow_mutex_; see maybe_tear).
+  std::size_t tear_depth_ = 0;
+  std::uint64_t tear_last_event_ = 0;
+  bool tear_closed_ = false;
   /// Serializes shadow-image access: in real-worker async mode the worker's
   /// write-back of a queued line may race the application thread's store to
   /// the same line (on hardware the coherent cache arbitrates; the shadow

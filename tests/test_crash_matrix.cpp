@@ -184,6 +184,65 @@ TEST(CrashEquivalence, AsyncDataTrafficIsIdenticalToSync) {
   }
 }
 
+TEST(CrashTearBurst, MultiLineTearWindowKeepsAllOrNothing) {
+  // The write-back burst racing the power cut may span SEVERAL lines (the
+  // modeled write-queue depth, CrashRigConfig::tear_burst): a gapless run
+  // of post-cut flushes freeze+1, freeze+2, ... each independently drops or
+  // persists a torn prefix. Sweep every freeze point with tearing forced on
+  // (torn_rate = 1) and assert the all-or-nothing oracle survives — torn
+  // data lines are covered by undo records that were durable before the
+  // flush, and torn log lines fail their check words, so neither can smuggle
+  // uncommitted bytes past recovery. The sweep must also actually open a
+  // multi-line window somewhere, or this test would be vacuous.
+  for (const LogSyncMode mode :
+       {LogSyncMode::kStrict, LogSyncMode::kBatched}) {
+    CrashRigConfig config = matrix_config(mode, false);
+    config.fault.torn_rate = 1.0;
+    config.fault.seed = 0x7ea2;
+
+    CrashRig dry(config);
+    const auto snapshots = run_script(dry);
+    const std::uint64_t total = dry.events();
+    EXPECT_EQ(dry.torn_flushes(), 0u) << "no power cut, nothing may tear";
+
+    std::uint64_t max_torn = 0;
+    for (std::uint64_t e = 0; e <= total; ++e) {
+      CrashRig rig(config);
+      rig.freeze_at(e);
+      (void)run_script(rig);
+      const DataImage image = to_image(rig.recovered_data());
+      ASSERT_GE(snapshot_index(snapshots, image), 0)
+          << to_string(mode) << ": freeze at event " << e << "/" << total
+          << " with torn burst recovered a never-committed state ("
+          << rig.torn_flushes() << " torn write-backs)";
+      max_torn = std::max(max_torn, rig.torn_flushes());
+    }
+    EXPECT_GE(max_torn, 2u)
+        << to_string(mode)
+        << ": the sweep never opened a multi-line tear window";
+  }
+}
+
+TEST(CrashTearBurst, DepthOneWindowNeverTearsTwice) {
+  // tear_burst = 1 restores the historical model: only the single write-back
+  // racing the cut may land torn.
+  CrashRigConfig config = matrix_config(LogSyncMode::kBatched, false);
+  config.fault.torn_rate = 1.0;
+  config.fault.seed = 0x7ea2;
+  config.tear_burst = 1;
+
+  CrashRig dry(config);
+  const auto snapshots = run_script(dry);
+  for (std::uint64_t e = 0; e <= dry.events(); e += 7) {
+    CrashRig rig(config);
+    rig.freeze_at(e);
+    (void)run_script(rig);
+    EXPECT_LE(rig.torn_flushes(), 1u) << "freeze " << e;
+    ASSERT_GE(snapshot_index(snapshots, to_image(rig.recovered_data())), 0)
+        << "freeze " << e;
+  }
+}
+
 TEST(CrashEquivalence, BatchedRecoversIdenticallyToStrictAtSharedBoundaries) {
   // Freeze both modes at their respective FASE-commit boundaries (event
   // streams differ, so align on fractions of the run) and check both roll
